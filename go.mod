@@ -1,0 +1,3 @@
+module mobidx
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package core assembles the paper's one-dimensional mobile-object indexes
+// from the substrate packages:
+//
+//   - DualBPlus — the query-approximation method of §3.5.2: c observation
+//     B+-tree indexes over Hough-Y b-coordinates plus c subterrain interval
+//     indexes, with queries routed to minimize the enlargement E.
+//   - KDDual — the point-access-method approach of §3.5.1: paged k-d trees
+//     over Hough-X dual points answering the wedge query of Proposition 1.
+//   - RStarSeg — the traditional baseline of §3.1/§5: an R*-tree over
+//     trajectory line segments in the (t, y) plane.
+//
+// All three implement Index1D. Updates follow the paper's model (§2, §3):
+// an object's change of motion is a Delete of the old motion followed by an
+// Insert of the new one.
+//
+// DualBPlus and KDDual bound their dual coordinates with the two-index
+// rotation scheme of §3.2 (see Rotator): motions are assigned to
+// generations by update time, each generation computes dual coordinates
+// against its own reference time, and a generation is retired once every
+// object has moved on — which the T_period = YMax/VMin forced-update bound
+// guarantees happens within one period.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mobidx/internal/dual"
+)
+
+// Index1D answers one-dimensional MOR queries over a dynamic set of
+// linearly moving objects.
+type Index1D interface {
+	// Insert adds an object's current motion. The motion's speed must lie
+	// within the terrain's [VMin, VMax] band (in absolute value).
+	Insert(m dual.Motion) error
+	// Delete removes a motion previously added with Insert. The exact
+	// motion must be passed back (the caller tracks each object's current
+	// motion; an update is Delete(old) + Insert(new)).
+	Delete(m dual.Motion) error
+	// Query reports the OID of every object whose motion places it inside
+	// [q.Y1, q.Y2] at some instant in [q.T1, q.T2]. Each matching object
+	// is reported exactly once.
+	Query(q dual.MORQuery, emit func(dual.OID)) error
+	// Len returns the number of indexed objects.
+	Len() int
+}
+
+// validateMotion checks the "moving object" speed band of §3.
+func validateMotion(m dual.Motion, tr dual.Terrain) error {
+	s := math.Abs(m.V)
+	if s < tr.VMin-1e-12 || s > tr.VMax+1e-12 {
+		return fmt.Errorf("core: speed %v outside [%v, %v]", m.V, tr.VMin, tr.VMax)
+	}
+	if m.Y0 < -1e-9 || m.Y0 > tr.YMax+1e-9 {
+		return fmt.Errorf("core: position %v outside terrain [0, %v]", m.Y0, tr.YMax)
+	}
+	return nil
+}
+
+// Generation is one epoch's index inside a Rotator: it must support
+// inserting and deleting motions of type M and releasing its storage.
+type Generation[M any] interface {
+	Insert(m M) error
+	Delete(m M) error
+	Len() int
+	// Destroy releases all storage held by the generation.
+	Destroy() error
+}
+
+// Rotator implements the staggered two-index scheme of §3.2. Motions are
+// partitioned by epoch(T0) = floor(T0/period); each epoch has its own
+// generation index whose dual coordinates are computed against the epoch
+// start, so they stay bounded regardless of how long the system runs. A
+// generation is destroyed when its last motion is deleted, which the
+// forced-update bound guarantees within one period of its epoch's end.
+//
+// The rotator is generic so the same lifecycle serves 1-dimensional
+// indexes (M = dual.Motion) and 2-dimensional ones (M = twod.Motion2D).
+// Queries are the caller's business: iterate Live().
+type Rotator[M any, G Generation[M]] struct {
+	period  float64
+	updTime func(M) float64
+	make    func(tref float64) (G, error)
+	gens    map[int64]G
+	size    int
+}
+
+// NewRotator builds a rotator; mk constructs a fresh generation whose dual
+// coordinates are relative to tref, and updTime extracts a motion's update
+// time (which selects its epoch).
+func NewRotator[M any, G Generation[M]](period float64, updTime func(M) float64, mk func(tref float64) (G, error)) (*Rotator[M, G], error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("core: rotation period must be positive, got %v", period)
+	}
+	return &Rotator[M, G]{period: period, updTime: updTime, make: mk, gens: make(map[int64]G)}, nil
+}
+
+func (r *Rotator[M, G]) epoch(t float64) int64 { return int64(math.Floor(t / r.period)) }
+
+// Generations returns the number of live generations (at most two when the
+// forced-update assumption holds).
+func (r *Rotator[M, G]) Generations() int { return len(r.gens) }
+
+// Len returns the number of indexed motions across generations.
+func (r *Rotator[M, G]) Len() int { return r.size }
+
+// Live returns the live generations (query them all; each object lives in
+// exactly one, so no cross-generation duplicates arise).
+func (r *Rotator[M, G]) Live() []G {
+	out := make([]G, 0, len(r.gens))
+	for _, g := range r.gens {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Insert routes m to the generation of its update epoch.
+func (r *Rotator[M, G]) Insert(m M) error {
+	e := r.epoch(r.updTime(m))
+	g, ok := r.gens[e]
+	if !ok {
+		var err error
+		if g, err = r.make(float64(e) * r.period); err != nil {
+			return err
+		}
+		r.gens[e] = g
+	}
+	if err := g.Insert(m); err != nil {
+		return err
+	}
+	r.size++
+	// Retire any older generation that drained while it was still the
+	// newest (Delete could not retire it then — there was nowhere newer).
+	for e2, g2 := range r.gens {
+		if e2 < e && g2.Len() == 0 {
+			if err := g2.Destroy(); err != nil {
+				return err
+			}
+			delete(r.gens, e2)
+		}
+	}
+	return nil
+}
+
+// Delete removes m from its generation, retiring the generation when it
+// drains and a newer one exists.
+func (r *Rotator[M, G]) Delete(m M) error {
+	e := r.epoch(r.updTime(m))
+	g, ok := r.gens[e]
+	if !ok {
+		return fmt.Errorf("core: no generation for epoch %d", e)
+	}
+	if err := g.Delete(m); err != nil {
+		return err
+	}
+	r.size--
+	if g.Len() == 0 {
+		newer := false
+		for e2 := range r.gens {
+			if e2 > e {
+				newer = true
+				break
+			}
+		}
+		if newer {
+			if err := g.Destroy(); err != nil {
+				return err
+			}
+			delete(r.gens, e)
+		}
+	}
+	return nil
+}
+
+// motionTime extracts the update time of a 1-dimensional motion, the epoch
+// selector for all 1-dimensional indexes.
+func motionTime(m dual.Motion) float64 { return m.T0 }

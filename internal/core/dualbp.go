@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/dual"
+	"mobidx/internal/interval"
+	"mobidx/internal/pager"
+)
+
+// DualBPlusConfig configures the approximation method.
+type DualBPlusConfig struct {
+	Terrain dual.Terrain
+	// C is the number of observation indexes (and subterrains); the paper
+	// evaluates c = 4, 6, 8. Zero selects 4.
+	C int
+	// Codec selects on-page record precision; bptree.Compact reproduces
+	// the paper's 12-byte records (B = 341).
+	Codec bptree.Codec
+}
+
+// DualBPlus is the query-approximation method of §3.5.2. It keeps, per
+// generation (§3.2 rotation):
+//
+//   - for each of c observation lines y_r(i) = (i+½)·YMax/c, two B+-trees
+//     (positive and negative velocities) keyed on the Hough-Y b-coordinate
+//     observed from that line — "the i-th index stores the data as observed
+//     from position y_i";
+//   - for each of the c subterrains [i·H, (i+1)·H), H = YMax/c, an interval
+//     index of the residence intervals of every object that will traverse
+//     it before its forced border update.
+//
+// Small queries (spatial extent ≤ H) run against the single observation
+// index minimizing the enlargement E of Equation (1); larger queries are
+// decomposed into whole-subterrain interval subqueries plus two endpoint
+// subqueries (Lemma 1).
+type DualBPlus struct {
+	cfg        DualBPlusConfig
+	store      pager.Store
+	rot        *Rotator[dual.Motion, *dualBPGen]
+	candidates int // entries scanned by the most recent Query (see LastQueryCandidates)
+}
+
+// NewDualBPlus creates the index on the given store.
+func NewDualBPlus(store pager.Store, cfg DualBPlusConfig) (*DualBPlus, error) {
+	if cfg.C == 0 {
+		cfg.C = 4
+	}
+	if cfg.C < 1 {
+		return nil, fmt.Errorf("core: DualBPlus needs c >= 1, got %d", cfg.C)
+	}
+	if cfg.Terrain.YMax <= 0 || cfg.Terrain.VMin <= 0 || cfg.Terrain.VMax < cfg.Terrain.VMin {
+		return nil, fmt.Errorf("core: invalid terrain %+v", cfg.Terrain)
+	}
+	d := &DualBPlus{cfg: cfg, store: store}
+	rot, err := NewRotator(cfg.Terrain.TPeriod(), motionTime, func(tref float64) (*dualBPGen, error) {
+		g, err := newDualBPGen(store, cfg, tref)
+		if err != nil {
+			return nil, err
+		}
+		g.cand = &d.candidates
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.rot = rot
+	return d, nil
+}
+
+// Insert implements Index1D.
+func (d *DualBPlus) Insert(m dual.Motion) error {
+	if err := validateMotion(m, d.cfg.Terrain); err != nil {
+		return err
+	}
+	return d.rot.Insert(m)
+}
+
+// Delete implements Index1D.
+func (d *DualBPlus) Delete(m dual.Motion) error { return d.rot.Delete(m) }
+
+// Len implements Index1D.
+func (d *DualBPlus) Len() int { return d.rot.Len() }
+
+// Generations exposes the live generation count (normally ≤ 2).
+func (d *DualBPlus) Generations() int { return d.rot.Generations() }
+
+// LastQueryCandidates reports how many index entries the most recent Query
+// scanned before exact filtering — the quantity whose excess over the true
+// answer is the approximation error K' of Lemma 1.
+func (d *DualBPlus) LastQueryCandidates() int { return d.candidates }
+
+// Query implements Index1D, deduplicating across decomposed subqueries.
+func (d *DualBPlus) Query(q dual.MORQuery, emit func(dual.OID)) error {
+	d.candidates = 0
+	seen := make(map[dual.OID]struct{})
+	for _, g := range d.rot.Live() {
+		err := g.Query(q, func(id dual.OID) {
+			if _, ok := seen[id]; ok {
+				return
+			}
+			seen[id] = struct{}{}
+			emit(id)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dualBPGen is one generation.
+type dualBPGen struct {
+	cfg  DualBPlusConfig
+	tref float64
+	h    float64        // subterrain height YMax/c
+	pos  []*bptree.Tree // per observation line, v > 0
+	neg  []*bptree.Tree // per observation line, v < 0
+	sub  []*interval.Index
+	size int
+	cand *int // owner's candidate counter (may be nil)
+}
+
+func (g *dualBPGen) countCandidate() {
+	if g.cand != nil {
+		*g.cand++
+	}
+}
+
+func newDualBPGen(store pager.Store, cfg DualBPlusConfig, tref float64) (*dualBPGen, error) {
+	g := &dualBPGen{cfg: cfg, tref: tref, h: cfg.Terrain.YMax / float64(cfg.C)}
+	maxDur := g.h / cfg.Terrain.VMin
+	for i := 0; i < cfg.C; i++ {
+		p, err := bptree.New(store, bptree.Config{Codec: cfg.Codec})
+		if err != nil {
+			return nil, err
+		}
+		n, err := bptree.New(store, bptree.Config{Codec: cfg.Codec})
+		if err != nil {
+			return nil, err
+		}
+		s, err := interval.NewIndex(store, cfg.Codec, maxDur)
+		if err != nil {
+			return nil, err
+		}
+		g.pos = append(g.pos, p)
+		g.neg = append(g.neg, n)
+		g.sub = append(g.sub, s)
+	}
+	return g, nil
+}
+
+// yr returns the i-th observation line, the midpoint of subterrain i.
+func (g *dualBPGen) yr(i int) float64 { return (float64(i) + 0.5) * g.h }
+
+func (g *dualBPGen) obs(i int, positive bool) *bptree.Tree {
+	if positive {
+		return g.pos[i]
+	}
+	return g.neg[i]
+}
+
+func (g *dualBPGen) Len() int { return g.size }
+
+// Insert stores m in all c observation indexes and in the interval index
+// of every subterrain it will traverse before its forced border update.
+func (g *dualBPGen) Insert(m dual.Motion) error {
+	for i := 0; i < g.cfg.C; i++ {
+		_, b := dual.HoughY(m, g.yr(i))
+		e := bptree.Entry{Key: b - g.tref, Val: uint64(m.OID), Aux: m.V}
+		if err := g.obs(i, m.V > 0).Insert(e); err != nil {
+			return err
+		}
+	}
+	if err := g.eachResidence(m, func(i int, in, out float64) error {
+		return g.sub[i].Insert(in-g.tref, out-g.tref, uint64(m.OID))
+	}); err != nil {
+		return err
+	}
+	g.size++
+	return nil
+}
+
+// Delete removes everything Insert stored for m.
+func (g *dualBPGen) Delete(m dual.Motion) error {
+	for i := 0; i < g.cfg.C; i++ {
+		_, b := dual.HoughY(m, g.yr(i))
+		if err := g.obs(i, m.V > 0).Delete(b-g.tref, uint64(m.OID)); err != nil {
+			return fmt.Errorf("core: observation index %d: %w", i, err)
+		}
+	}
+	if err := g.eachResidence(m, func(i int, in, out float64) error {
+		return g.sub[i].Delete(in-g.tref, uint64(m.OID))
+	}); err != nil {
+		return err
+	}
+	g.size--
+	return nil
+}
+
+// eachResidence visits every subterrain the object traverses from its
+// update position until it reaches a terrain border (where it must issue a
+// new update), with the absolute entry/exit times.
+func (g *dualBPGen) eachResidence(m dual.Motion, fn func(i int, in, out float64) error) error {
+	c := g.cfg.C
+	cur := int(math.Floor(m.Y0 / g.h))
+	if cur >= c {
+		cur = c - 1 // Y0 == YMax sits in the top subterrain
+	}
+	if m.V > 0 {
+		tBorder := m.T0 + (g.cfg.Terrain.YMax-m.Y0)/m.V
+		in := m.T0
+		for i := cur; i < c; i++ {
+			out := m.T0 + (float64(i+1)*g.h-m.Y0)/m.V
+			if out > tBorder {
+				out = tBorder
+			}
+			if out > in {
+				if err := fn(i, in, out); err != nil {
+					return err
+				}
+			}
+			in = out
+		}
+		return nil
+	}
+	tBorder := m.T0 + (0-m.Y0)/m.V
+	in := m.T0
+	for i := cur; i >= 0; i-- {
+		out := m.T0 + (float64(i)*g.h-m.Y0)/m.V
+		if out > tBorder {
+			out = tBorder
+		}
+		if out > in {
+			if err := fn(i, in, out); err != nil {
+				return err
+			}
+		}
+		in = out
+	}
+	return nil
+}
+
+// Query answers the MOR query per §3.5.2.
+func (g *dualBPGen) Query(q dual.MORQuery, emit func(dual.OID)) error {
+	if q.Y2-q.Y1 <= g.h {
+		return g.smallQuery(q, emit)
+	}
+	// Decompose: whole subterrains inside [Y1, Y2] answered exactly by the
+	// interval indexes; the two endpoint fragments are small queries.
+	jLo := int(math.Ceil(q.Y1 / g.h))
+	jHi := int(math.Floor(q.Y2 / g.h))
+	if jHi > g.cfg.C {
+		jHi = g.cfg.C
+	}
+	if jLo < 0 {
+		jLo = 0
+	}
+	for j := jLo; j < jHi; j++ {
+		err := g.sub[j].Overlapping(q.T1-g.tref, q.T2-g.tref, func(_, _ float64, v uint64) bool {
+			g.countCandidate()
+			emit(dual.OID(v))
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Endpoint fragments are run even when degenerate (query edge exactly
+	// on a subterrain boundary) so objects sitting exactly on the boundary
+	// are never missed; the caller deduplicates.
+	if lo := float64(jLo) * g.h; q.Y1 <= lo {
+		sq := q
+		sq.Y2 = lo
+		if err := g.smallQuery(sq, emit); err != nil {
+			return err
+		}
+	}
+	if hi := float64(jHi) * g.h; q.Y2 >= hi {
+		sq := q
+		sq.Y1 = hi
+		if err := g.smallQuery(sq, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// smallQuery answers a query whose spatial extent is at most one
+// subterrain via the observation index minimizing E (Equation 1), scanning
+// the approximating b-range (Figure 4) and filtering candidates exactly.
+func (g *dualBPGen) smallQuery(q dual.MORQuery, emit func(dual.OID)) error {
+	best, bestE := 0, math.Inf(1)
+	for i := 0; i < g.cfg.C; i++ {
+		if e := dual.EnlargementE(q, g.yr(i), g.cfg.Terrain); e < bestE {
+			best, bestE = i, e
+		}
+	}
+	yr := g.yr(best)
+	for _, positive := range []bool{true, false} {
+		bLo, bHi := dual.HoughYRect(q, yr, g.cfg.Terrain, positive)
+		err := g.obs(best, positive).Range(bLo-g.tref, bHi-g.tref, func(e bptree.Entry) bool {
+			g.countCandidate()
+			m := dual.MotionFromHoughY(dual.OID(e.Val), e.Aux, e.Key+g.tref, yr)
+			if m.Matches(q) {
+				emit(m.OID)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Destroy releases all pages of the generation.
+func (g *dualBPGen) Destroy() error {
+	for i := 0; i < g.cfg.C; i++ {
+		if err := g.pos[i].Destroy(); err != nil {
+			return err
+		}
+		if err := g.neg[i].Destroy(); err != nil {
+			return err
+		}
+		if err := g.sub[i].Destroy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+func TestHistoryBasics(t *testing.T) {
+	st := pager.NewMemStore(1024)
+	h, err := NewHistory(st, testTerrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object 1: moves right during [0,10], then left during [10,30], gone.
+	if err := h.Begin(dual.Motion{OID: 1, Y0: 10, T0: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Begin(dual.Motion{OID: 1, Y0: 20, T0: 10, V: -0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.End(1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if h.Closed() != 2 || h.Open() != 0 {
+		t.Fatalf("closed=%d open=%d", h.Closed(), h.Open())
+	}
+	count := func(q dual.MORQuery) int {
+		n := 0
+		if err := h.QueryPast(q, func(dual.OID) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	// Was at y=15 at t=5 (first leg).
+	if got := count(dual.MORQuery{Y1: 14, Y2: 16, T1: 4, T2: 6}); got != 1 {
+		t.Fatalf("first leg: %d", got)
+	}
+	// Was at y=15 again around t=20 (second leg).
+	if got := count(dual.MORQuery{Y1: 14, Y2: 16, T1: 19, T2: 21}); got != 1 {
+		t.Fatalf("second leg: %d", got)
+	}
+	// Never at y=50.
+	if got := count(dual.MORQuery{Y1: 49, Y2: 51, T1: 0, T2: 30}); got != 0 {
+		t.Fatalf("phantom: %d", got)
+	}
+	// After t=30 the object no longer exists.
+	if got := count(dual.MORQuery{Y1: 0, Y2: 100, T1: 31, T2: 40}); got != 0 {
+		t.Fatalf("after end: %d", got)
+	}
+	// A window straddling both legs reports the object once.
+	if got := count(dual.MORQuery{Y1: 0, Y2: 100, T1: 0, T2: 30}); got != 1 {
+		t.Fatalf("dedup: %d", got)
+	}
+	// Trajectory length = 10 + 20.
+	if l, err := h.TrajectoryLength(1); err != nil || math.Abs(l-30) > 1e-6 {
+		t.Fatalf("length %v err %v", l, err)
+	}
+}
+
+func TestHistoryEndErrors(t *testing.T) {
+	st := pager.NewMemStore(1024)
+	h, _ := NewHistory(st, testTerrain)
+	if err := h.End(9, 5); err == nil {
+		t.Fatal("End of unknown object accepted")
+	}
+	_ = h.Begin(dual.Motion{OID: 1, Y0: 10, T0: 10, V: 1})
+	if err := h.End(1, 5); err == nil {
+		t.Fatal("End before Begin accepted")
+	}
+}
+
+// Differential test: a full simulated history vs brute force replay.
+func TestHistoryDifferential(t *testing.T) {
+	st := pager.NewMemStore(1024)
+	h, err := NewHistory(st, testTerrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(321))
+	type piece struct {
+		m    dual.Motion
+		tEnd float64 // inf while open
+	}
+	pieces := map[dual.OID][]piece{}
+	now := 0.0
+	cur := map[dual.OID]dual.Motion{}
+	randV := func() float64 {
+		v := testTerrain.VMin + rng.Float64()*(testTerrain.VMax-testTerrain.VMin)
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		return v
+	}
+	for i := 0; i < 150; i++ {
+		m := dual.Motion{OID: dual.OID(i), Y0: rng.Float64() * testTerrain.YMax, T0: 0, V: randV()}
+		if err := h.Begin(m); err != nil {
+			t.Fatal(err)
+		}
+		cur[m.OID] = m
+		pieces[m.OID] = []piece{{m: m, tEnd: math.Inf(1)}}
+	}
+	// Random churn: updates and departures.
+	for step := 0; step < 200; step++ {
+		now += 0.5
+		id := dual.OID(rng.Intn(150))
+		m, alive := cur[id]
+		if !alive {
+			continue
+		}
+		ps := pieces[id]
+		ps[len(ps)-1].tEnd = now
+		if rng.Float64() < 0.1 {
+			if err := h.End(id, now); err != nil {
+				t.Fatal(err)
+			}
+			delete(cur, id)
+		} else {
+			nm := dual.Motion{OID: id, Y0: m.At(now), T0: now, V: randV()}
+			if err := h.Begin(nm); err != nil {
+				t.Fatal(err)
+			}
+			cur[id] = nm
+			pieces[id] = append(ps, piece{m: nm, tEnd: math.Inf(1)})
+			continue
+		}
+		pieces[id] = ps
+	}
+	// Queries over the whole recorded timeline.
+	for trial := 0; trial < 80; trial++ {
+		y1 := rng.Float64()*200 - 50
+		t1 := rng.Float64() * now
+		q := dual.MORQuery{Y1: y1, Y2: y1 + rng.Float64()*30, T1: t1, T2: t1 + rng.Float64()*20}
+		want := map[dual.OID]bool{}
+		for id, ps := range pieces {
+			for _, p := range ps {
+				cq := q
+				if cq.T1 < p.m.T0 {
+					cq.T1 = p.m.T0
+				}
+				if cq.T2 > p.tEnd {
+					cq.T2 = p.tEnd
+				}
+				if cq.T1 <= cq.T2 && p.m.Matches(cq) {
+					want[id] = true
+					break
+				}
+			}
+		}
+		got := map[dual.OID]bool{}
+		if err := h.QueryPast(q, func(id dual.OID) { got[id] = true }); err != nil {
+			t.Fatal(err)
+		}
+		// float32 rounding slack at boundaries.
+		missing, spurious := 0, 0
+		for id := range want {
+			if !got[id] {
+				missing++
+			}
+		}
+		for id := range got {
+			if !want[id] {
+				spurious++
+			}
+		}
+		if missing+spurious > (len(want)+20)/20 {
+			t.Fatalf("trial %d: %d missing, %d spurious of %d", trial, missing, spurious, len(want))
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package dual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/geom"
+)
+
+var terr = Terrain{YMax: 1000, VMin: 0.16, VMax: 1.66}
+
+func randomMotion(rng *rand.Rand, tnow float64) Motion {
+	v := terr.VMin + rng.Float64()*(terr.VMax-terr.VMin)
+	if rng.Intn(2) == 0 {
+		v = -v
+	}
+	return Motion{
+		OID: OID(rng.Uint64()),
+		Y0:  rng.Float64() * terr.YMax,
+		T0:  tnow - rng.Float64()*50,
+		V:   v,
+	}
+}
+
+func randomQuery(rng *rand.Rand, tnow float64) MORQuery {
+	y1 := rng.Float64() * terr.YMax
+	y2 := y1 + rng.Float64()*150
+	t1 := tnow + rng.Float64()*30
+	t2 := t1 + rng.Float64()*60
+	return MORQuery{Y1: y1, Y2: y2, T1: t1, T2: t2}
+}
+
+func TestMotionAt(t *testing.T) {
+	m := Motion{Y0: 100, T0: 10, V: 2}
+	if got := m.At(10); got != 100 {
+		t.Fatalf("At(T0) = %v", got)
+	}
+	if got := m.At(15); got != 110 {
+		t.Fatalf("At(15) = %v, want 110", got)
+	}
+}
+
+func TestMatchesExact(t *testing.T) {
+	m := Motion{Y0: 0, T0: 0, V: 1} // y(t) = t
+	cases := []struct {
+		q    MORQuery
+		want bool
+	}{
+		{MORQuery{Y1: 5, Y2: 10, T1: 5, T2: 10}, true},   // inside whole window
+		{MORQuery{Y1: 5, Y2: 10, T1: 0, T2: 4}, false},   // arrives too late
+		{MORQuery{Y1: 5, Y2: 10, T1: 11, T2: 20}, false}, // already past
+		{MORQuery{Y1: 5, Y2: 10, T1: 10, T2: 20}, true},  // touches at t=10
+		{MORQuery{Y1: 5, Y2: 10, T1: 0, T2: 5}, true},    // touches at t=5
+	}
+	for i, c := range cases {
+		if got := m.Matches(c.q); got != c.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.want)
+		}
+	}
+	// Stationary object.
+	s := Motion{Y0: 7, T0: 0, V: 0}
+	if !s.Matches(MORQuery{Y1: 5, Y2: 10, T1: 100, T2: 200}) {
+		t.Error("stationary object inside range should always match")
+	}
+	if s.Matches(MORQuery{Y1: 8, Y2: 10, T1: 0, T2: 100}) {
+		t.Error("stationary object outside range should never match")
+	}
+	// Negative velocity.
+	n := Motion{Y0: 100, T0: 0, V: -2} // y(t)=100-2t, in [50,60] during [20,25]
+	if !n.Matches(MORQuery{Y1: 50, Y2: 60, T1: 22, T2: 23}) {
+		t.Error("negative-velocity match failed")
+	}
+	if n.Matches(MORQuery{Y1: 50, Y2: 60, T1: 26, T2: 30}) {
+		t.Error("negative-velocity non-match accepted")
+	}
+}
+
+// Matches must agree with brute-force time sampling.
+func TestMatchesAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tnow := 500.0
+	for i := 0; i < 3000; i++ {
+		m := randomMotion(rng, tnow)
+		q := randomQuery(rng, tnow)
+		sampled := false
+		for k := 0; k <= 400; k++ {
+			tt := q.T1 + float64(k)/400*(q.T2-q.T1)
+			y := m.At(tt)
+			if y >= q.Y1 && y <= q.Y2 {
+				sampled = true
+				break
+			}
+		}
+		got := m.Matches(q)
+		if sampled && !got {
+			t.Fatalf("sampling hit but Matches=false: m=%+v q=%+v", m, q)
+		}
+		// The converse can differ only at the interval boundary; verify
+		// analytically that when Matches is true, the crossing interval
+		// truly overlaps.
+		if got && !sampled && m.V != 0 {
+			tA := m.T0 + (q.Y1-m.Y0)/m.V
+			tB := m.T0 + (q.Y2-m.Y0)/m.V
+			if tA > tB {
+				tA, tB = tB, tA
+			}
+			if tA > q.T2+1e-6 || tB < q.T1-1e-6 {
+				t.Fatalf("Matches=true but interval disjoint: m=%+v q=%+v", m, q)
+			}
+		}
+	}
+}
+
+// Proposition 1: a motion matches the query iff its Hough-X dual point lies
+// in the region for its velocity sign.
+func TestHoughXRegionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tnow := 300.0
+	tref := 0.0
+	for i := 0; i < 5000; i++ {
+		m := randomMotion(rng, tnow)
+		q := randomQuery(rng, tnow)
+		p := HoughX(m, tref)
+		reg := HoughXRegion(q, tref, terr, m.V > 0)
+		inRegion := reg.ContainsPoint(p)
+		want := m.Matches(q)
+		if inRegion != want {
+			t.Fatalf("Hough-X region mismatch: in=%v want=%v m=%+v q=%+v p=%+v",
+				inRegion, want, m, q, p)
+		}
+	}
+}
+
+// The Hough-X dual point with a nonzero reference line must land in the
+// region built with the same reference.
+func TestHoughXReferenceShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tnow := 5000.0
+	tref := 4000.0
+	for i := 0; i < 2000; i++ {
+		m := randomMotion(rng, tnow)
+		q := randomQuery(rng, tnow)
+		p := HoughX(m, tref)
+		reg := HoughXRegion(q, tref, terr, m.V > 0)
+		if reg.ContainsPoint(p) != m.Matches(q) {
+			t.Fatalf("shifted-reference mismatch: m=%+v q=%+v", m, q)
+		}
+	}
+}
+
+func TestHoughXRoundTrip(t *testing.T) {
+	m := Motion{OID: 42, Y0: 123, T0: 10, V: -0.5}
+	p := HoughX(m, 0)
+	back := MotionFromHoughX(42, p, 0)
+	if math.Abs(back.At(100)-m.At(100)) > 1e-9 {
+		t.Fatalf("round trip differs: %v vs %v", back.At(100), m.At(100))
+	}
+}
+
+func TestHoughXBoundContainsRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tnow := 300.0
+	for i := 0; i < 2000; i++ {
+		m := randomMotion(rng, tnow)
+		q := randomQuery(rng, tnow)
+		if !m.Matches(q) {
+			continue
+		}
+		p := HoughX(m, 0)
+		b := HoughXBound(q, 0, terr, m.V > 0)
+		if !b.Contains(p) {
+			t.Fatalf("bound misses matching dual point: m=%+v q=%+v b=%+v p=%+v", m, q, b, p)
+		}
+	}
+}
+
+func TestHoughYRoundTrip(t *testing.T) {
+	m := Motion{OID: 1, Y0: 200, T0: 50, V: 1.2}
+	yr := 375.0
+	n, b := HoughY(m, yr)
+	if math.Abs(n-1/1.2) > 1e-12 {
+		t.Fatalf("n = %v", n)
+	}
+	// At time b the object must be at yr.
+	if math.Abs(m.At(b)-yr) > 1e-9 {
+		t.Fatalf("At(b) = %v, want %v", m.At(b), yr)
+	}
+	back := MotionFromHoughY(1, m.V, b, yr)
+	if math.Abs(back.At(77)-m.At(77)) > 1e-9 {
+		t.Fatal("Hough-Y round trip differs")
+	}
+}
+
+// The Hough-Y rectangle is a superset of the exact answer: every matching
+// motion has b within [bLo, bHi] for its sign.
+func TestHoughYRectIsSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tnow := 300.0
+	for _, yr := range []float64{0, 250, 500, 750, 1000} {
+		for i := 0; i < 3000; i++ {
+			m := randomMotion(rng, tnow)
+			q := randomQuery(rng, tnow)
+			if !m.Matches(q) {
+				continue
+			}
+			_, b := HoughY(m, yr)
+			bLo, bHi := HoughYRect(q, yr, terr, m.V > 0)
+			if b < bLo-1e-9 || b > bHi+1e-9 {
+				t.Fatalf("yr=%v: matching object outside Hough-Y rect: b=%v not in [%v,%v] m=%+v q=%+v",
+					yr, b, bLo, bHi, m, q)
+			}
+		}
+	}
+}
+
+// The rectangle should be reasonably tight: when the observation line is at
+// the query, a candidate far outside the time window must be excluded.
+func TestHoughYRectExcludesFar(t *testing.T) {
+	q := MORQuery{Y1: 495, Y2: 505, T1: 100, T2: 110}
+	yr := 500.0
+	bLo, bHi := HoughYRect(q, yr, terr, true)
+	// An object crossing y=500 at time 500 is far outside.
+	if 500 >= bLo && 500 <= bHi {
+		t.Fatalf("rect [%v,%v] fails to exclude crossing time 500", bLo, bHi)
+	}
+	// Sanity: the rect brackets the window.
+	if bLo > 100 || bHi < 110 {
+		t.Fatalf("rect [%v,%v] does not bracket the query window", bLo, bHi)
+	}
+}
+
+func TestEnlargementE(t *testing.T) {
+	q := MORQuery{Y1: 400, Y2: 500, T1: 0, T2: 10}
+	// E is minimized at the observation line closest to the query center
+	// and grows linearly with distance.
+	e0 := EnlargementE(q, 450, terr)
+	e1 := EnlargementE(q, 700, terr)
+	e2 := EnlargementE(q, 0, terr)
+	if e0 >= e1 || e1 >= e2 {
+		t.Fatalf("E ordering wrong: %v %v %v", e0, e1, e2)
+	}
+	// Closed form check at yr = 0: |Y2| + |Y1| = 900.
+	f := (terr.VMax - terr.VMin) / (terr.VMin * terr.VMax)
+	want := 0.5 * f * f * 900
+	if math.Abs(e2-want) > 1e-9 {
+		t.Fatalf("E(0) = %v, want %v", e2, want)
+	}
+}
+
+func TestEnlargementBound(t *testing.T) {
+	// Equation (2): for a query no wider than a subterrain, routing to the
+	// nearest observation line keeps E ≤ bound.
+	rng := rand.New(rand.NewSource(53))
+	for _, c := range []int{2, 4, 8} {
+		bound := EnlargementBound(terr, c)
+		for i := 0; i < 2000; i++ {
+			y1 := rng.Float64() * terr.YMax
+			w := rng.Float64() * terr.YMax / float64(c)
+			y2 := math.Min(y1+w, terr.YMax)
+			q := MORQuery{Y1: y1, Y2: y2, T1: 0, T2: 10}
+			// Route to the best of the c observation lines placed at the
+			// subterrain midpoints yr_i = (i+½)·YMax/c, the placement that
+			// realizes the bound of Equation (2).
+			best := math.Inf(1)
+			for idx := 0; idx < c; idx++ {
+				yr := (float64(idx) + 0.5) * terr.YMax / float64(c)
+				if e := EnlargementE(q, yr, terr); e < best {
+					best = e
+				}
+			}
+			if best > bound+1e-9 {
+				t.Fatalf("c=%d: E=%v exceeds bound %v for q=%+v", c, best, bound, q)
+			}
+		}
+	}
+}
+
+func TestTPeriod(t *testing.T) {
+	if got := terr.TPeriod(); math.Abs(got-1000/0.16) > 1e-9 {
+		t.Fatalf("TPeriod = %v", got)
+	}
+}
+
+// All corners of the Hough-X region polygon (clipped against its own
+// bounding box) must satisfy Proposition 1's constraints — a consistency
+// check between the constraint form and the rect bound.
+func TestHoughXRegionWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tnow := 300.0
+	for i := 0; i < 500; i++ {
+		q := randomQuery(rng, tnow)
+		for _, pos := range []bool{true, false} {
+			reg := HoughXRegion(q, 0, terr, pos)
+			bound := HoughXBound(q, 0, terr, pos)
+			// Sample points inside the region: they must be within bound.
+			for k := 0; k < 50; k++ {
+				p := geom.Point{
+					X: bound.MinX + rng.Float64()*(bound.MaxX-bound.MinX),
+					Y: bound.MinY + rng.Float64()*(bound.MaxY-bound.MinY),
+				}
+				if reg.ContainsPoint(p) && !bound.Contains(p) {
+					t.Fatalf("region point outside bound")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package dual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sanitizeMotion maps arbitrary quick-generated floats into a valid
+// moving-object motion for the test terrain.
+func sanitizeMotion(y0, t0, v float64) (Motion, bool) {
+	if math.IsNaN(y0) || math.IsNaN(t0) || math.IsNaN(v) ||
+		math.IsInf(y0, 0) || math.IsInf(t0, 0) || math.IsInf(v, 0) {
+		return Motion{}, false
+	}
+	m := Motion{
+		Y0: math.Abs(math.Mod(y0, terr.YMax)),
+		T0: math.Abs(math.Mod(t0, 500)),
+	}
+	speed := terr.VMin + math.Abs(math.Mod(v, terr.VMax-terr.VMin))
+	if math.Signbit(v) {
+		speed = -speed
+	}
+	m.V = speed
+	return m, true
+}
+
+// Property: Hough-X round trip preserves the trajectory exactly (float64).
+func TestQuickHoughXRoundTrip(t *testing.T) {
+	f := func(y0, t0, v, tref, probe float64) bool {
+		m, ok := sanitizeMotion(y0, t0, v)
+		if !ok {
+			return true
+		}
+		if math.IsNaN(tref) || math.IsInf(tref, 0) || math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		tref = math.Mod(tref, 1000)
+		probe = math.Mod(probe, 1000)
+		p := HoughX(m, tref)
+		back := MotionFromHoughX(m.OID, p, tref)
+		return math.Abs(back.At(probe)-m.At(probe)) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hough-Y round trip preserves the trajectory exactly.
+func TestQuickHoughYRoundTrip(t *testing.T) {
+	f := func(y0, t0, v, yr, probe float64) bool {
+		m, ok := sanitizeMotion(y0, t0, v)
+		if !ok {
+			return true
+		}
+		if math.IsNaN(yr) || math.IsInf(yr, 0) || math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		yr = math.Abs(math.Mod(yr, terr.YMax))
+		probe = math.Mod(probe, 1000)
+		_, b := HoughY(m, yr)
+		back := MotionFromHoughY(m.OID, m.V, b, yr)
+		return math.Abs(back.At(probe)-m.At(probe)) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Matches is monotone in the query — enlarging the query never
+// loses an answer.
+func TestQuickMatchesMonotone(t *testing.T) {
+	f := func(y0, t0, v, qy, qw, qt, qtw, grow float64) bool {
+		m, ok := sanitizeMotion(y0, t0, v)
+		if !ok {
+			return true
+		}
+		for _, x := range []float64{qy, qw, qt, qtw, grow} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		q := MORQuery{
+			Y1: math.Abs(math.Mod(qy, 900)),
+			T1: math.Abs(math.Mod(qt, 400)),
+		}
+		q.Y2 = q.Y1 + math.Abs(math.Mod(qw, 100))
+		q.T2 = q.T1 + math.Abs(math.Mod(qtw, 60))
+		g := math.Abs(math.Mod(grow, 50))
+		big := MORQuery{Y1: q.Y1 - g, Y2: q.Y2 + g, T1: q.T1 - g, T2: q.T2 + g}
+		if m.Matches(q) && !m.Matches(big) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Proposition 1 equivalence — Matches(q) iff the Hough-X dual
+// point lies inside the sign-matched region (quick-generated inputs,
+// complementing the table-driven test).
+func TestQuickProposition1(t *testing.T) {
+	f := func(y0, t0, v, qy, qw, qt, qtw float64) bool {
+		m, ok := sanitizeMotion(y0, t0, v)
+		if !ok {
+			return true
+		}
+		for _, x := range []float64{qy, qw, qt, qtw} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		q := MORQuery{
+			Y1: math.Abs(math.Mod(qy, 900)),
+			T1: math.Abs(math.Mod(qt, 400)),
+		}
+		q.Y2 = q.Y1 + math.Abs(math.Mod(qw, 100))
+		q.T2 = q.T1 + math.Abs(math.Mod(qtw, 60))
+		p := HoughX(m, 0)
+		reg := HoughXRegion(q, 0, terr, m.V > 0)
+		// Skip razor-edge cases where float tolerance decides membership.
+		margin := 1e-7
+		nearEdge := false
+		for _, c := range reg.Cs {
+			if math.Abs(c.Eval(p)) < margin {
+				nearEdge = true
+			}
+		}
+		if nearEdge {
+			return true
+		}
+		return reg.ContainsPoint(p) == m.Matches(q)
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(14))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package interval provides the subterrain interval indexes of §3.5.2
+// (case ii): for each subterrain, the time interval during which each
+// moving object resides inside it, searchable by overlap with the query's
+// time window.
+//
+// The paper suggests the external-memory Interval tree of Arge and Vitter
+// for an optimal solution. This package substitutes a simpler structure
+// with the same bounded-overhead guarantee: because an object crosses a
+// subterrain of height H at speed at least VMin, every stored interval has
+// length at most D = H/VMin, so a B+-tree on interval start answers the
+// stabbing-overlap query [t1, t2] by scanning starts in [t1−D, t2] and
+// filtering on the end time. The scan reads at most the answer plus the
+// intervals starting in a window of width D — the same kind of bounded
+// enlargement E the method already accepts at the query endpoints.
+//
+// A classic in-memory augmented interval tree (Tree) is included and used
+// by tests as an exactness oracle.
+package interval
+
+import (
+	"fmt"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/pager"
+)
+
+// Index is a duration-bounded external-memory interval index.
+type Index struct {
+	tree *bptree.Tree
+	maxD float64
+}
+
+// NewIndex creates an index for intervals of length at most maxDuration.
+func NewIndex(store pager.Store, codec bptree.Codec, maxDuration float64) (*Index, error) {
+	if maxDuration <= 0 {
+		return nil, fmt.Errorf("interval: maxDuration must be positive, got %v", maxDuration)
+	}
+	t, err := bptree.New(store, bptree.Config{Codec: codec})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t, maxD: maxDuration}, nil
+}
+
+// Len returns the number of stored intervals.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Insert stores the interval [start, end) for val.
+func (ix *Index) Insert(start, end float64, val uint64) error {
+	if end < start {
+		return fmt.Errorf("interval: end %v before start %v", end, start)
+	}
+	if end-start > ix.maxD*(1+1e-9) {
+		return fmt.Errorf("interval: duration %v exceeds bound %v", end-start, ix.maxD)
+	}
+	return ix.tree.Insert(bptree.Entry{Key: start, Val: val, Aux: end})
+}
+
+// Delete removes the interval previously inserted with the same start and
+// val. It returns bptree.ErrNotFound when absent.
+func (ix *Index) Delete(start float64, val uint64) error {
+	return ix.tree.Delete(start, val)
+}
+
+// Overlapping calls fn for every stored interval [s, e) that overlaps the
+// closed query window [t1, t2] (that is, s <= t2 and e >= t1), until fn
+// returns false.
+func (ix *Index) Overlapping(t1, t2 float64, fn func(start, end float64, val uint64) bool) error {
+	return ix.tree.Range(t1-ix.maxD, t2, func(e bptree.Entry) bool {
+		if e.Aux < t1 {
+			return true // ended before the window
+		}
+		return fn(e.Key, e.Aux, e.Val)
+	})
+}
+
+// Destroy releases all pages.
+func (ix *Index) Destroy() error { return ix.tree.Destroy() }
+
+// ---------------------------------------------------------------------------
+// In-memory augmented interval tree (exactness oracle)
+// ---------------------------------------------------------------------------
+
+// Tree is a classic augmented randomized binary search tree over intervals:
+// each node stores the maximum end time in its subtree, giving O(log n + k)
+// overlap queries. It lives entirely in memory and is used by tests and
+// small-scale tooling.
+type Tree struct {
+	root *tnode
+	size int
+	seed uint64
+}
+
+type tnode struct {
+	start, end  float64
+	val         uint64
+	maxEnd      float64
+	prio        uint64
+	left, right *tnode
+}
+
+// NewTree returns an empty in-memory interval tree.
+func NewTree() *Tree { return &Tree{seed: 0x9e3779b97f4a7c15} }
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.size }
+
+func (t *Tree) nextPrio() uint64 {
+	// xorshift64*: deterministic treap priorities.
+	t.seed ^= t.seed >> 12
+	t.seed ^= t.seed << 25
+	t.seed ^= t.seed >> 27
+	return t.seed * 0x2545f4914f6cdd1d
+}
+
+func upd(n *tnode) {
+	n.maxEnd = n.end
+	if n.left != nil && n.left.maxEnd > n.maxEnd {
+		n.maxEnd = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd > n.maxEnd {
+		n.maxEnd = n.right.maxEnd
+	}
+}
+
+func less(a, b *tnode) bool {
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.val < b.val
+}
+
+// Insert stores [start, end) for val.
+func (t *Tree) Insert(start, end float64, val uint64) {
+	n := &tnode{start: start, end: end, val: val, maxEnd: end, prio: t.nextPrio()}
+	t.root = insertNode(t.root, n)
+	t.size++
+}
+
+func insertNode(root, n *tnode) *tnode {
+	if root == nil {
+		return n
+	}
+	if n.prio > root.prio {
+		// n becomes the new subtree root: split root's tree by n.
+		l, r := split(root, n)
+		n.left, n.right = l, r
+		upd(n)
+		return n
+	}
+	if less(n, root) {
+		root.left = insertNode(root.left, n)
+	} else {
+		root.right = insertNode(root.right, n)
+	}
+	upd(root)
+	return root
+}
+
+// split partitions by ordering relative to pivot.
+func split(root, pivot *tnode) (l, r *tnode) {
+	if root == nil {
+		return nil, nil
+	}
+	if less(root, pivot) {
+		a, b := split(root.right, pivot)
+		root.right = a
+		upd(root)
+		return root, b
+	}
+	a, b := split(root.left, pivot)
+	root.left = b
+	upd(root)
+	return a, root
+}
+
+// Delete removes one interval matching (start, end, val); it reports
+// whether a match was found.
+func (t *Tree) Delete(start, end float64, val uint64) bool {
+	target := &tnode{start: start, end: end, val: val}
+	var found bool
+	t.root, found = deleteNode(t.root, target)
+	if found {
+		t.size--
+	}
+	return found
+}
+
+func deleteNode(root, target *tnode) (*tnode, bool) {
+	if root == nil {
+		return nil, false
+	}
+	if root.start == target.start && root.end == target.end && root.val == target.val {
+		return merge(root.left, root.right), true
+	}
+	var found bool
+	if less(target, root) {
+		root.left, found = deleteNode(root.left, target)
+	} else {
+		root.right, found = deleteNode(root.right, target)
+	}
+	upd(root)
+	return root, found
+}
+
+func merge(l, r *tnode) *tnode {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio > r.prio {
+		l.right = merge(l.right, r)
+		upd(l)
+		return l
+	}
+	r.left = merge(l, r.left)
+	upd(r)
+	return r
+}
+
+// Overlapping calls fn for every interval [s, e) with s <= t2 and e >= t1.
+func (t *Tree) Overlapping(t1, t2 float64, fn func(start, end float64, val uint64) bool) {
+	walk(t.root, t1, t2, fn)
+}
+
+func walk(n *tnode, t1, t2 float64, fn func(float64, float64, uint64) bool) bool {
+	if n == nil || n.maxEnd < t1 {
+		return true
+	}
+	if !walk(n.left, t1, t2, fn) {
+		return false
+	}
+	if n.start <= t2 && n.end >= t1 {
+		if !fn(n.start, n.end, n.val) {
+			return false
+		}
+	}
+	if n.start > t2 {
+		return true // right subtree starts even later
+	}
+	return walk(n.right, t1, t2, fn)
+}

@@ -1,0 +1,193 @@
+package interval
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/pager"
+)
+
+func TestIndexBasics(t *testing.T) {
+	st := pager.NewMemStore(512)
+	ix, err := NewIndex(st, bptree.Wide, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(3, 9, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(20, 25, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	_ = ix.Overlapping(4, 6, func(_, _ float64, v uint64) bool { got[v] = true; return true })
+	if !got[1] || !got[2] || got[3] || len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if err := ix.Delete(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	got = map[uint64]bool{}
+	_ = ix.Overlapping(4, 6, func(_, _ float64, v uint64) bool { got[v] = true; return true })
+	if len(got) != 1 || !got[1] {
+		t.Fatalf("after delete: %v", got)
+	}
+	if err := ix.Delete(3, 2); !errors.Is(err, bptree.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestIndexRejects(t *testing.T) {
+	st := pager.NewMemStore(512)
+	if _, err := NewIndex(st, bptree.Wide, 0); err == nil {
+		t.Fatal("zero maxDuration accepted")
+	}
+	ix, _ := NewIndex(st, bptree.Wide, 5)
+	if err := ix.Insert(0, 10, 1); err == nil {
+		t.Fatal("over-long interval accepted")
+	}
+	if err := ix.Insert(10, 5, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestIndexBoundaryOverlap(t *testing.T) {
+	st := pager.NewMemStore(512)
+	ix, _ := NewIndex(st, bptree.Wide, 10)
+	_ = ix.Insert(0, 5, 1)
+	// Touching at a single point counts as overlap (closed semantics).
+	n := 0
+	_ = ix.Overlapping(5, 8, func(_, _ float64, _ uint64) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("touch-at-end: %d", n)
+	}
+	n = 0
+	_ = ix.Overlapping(-3, 0, func(_, _ float64, _ uint64) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("touch-at-start: %d", n)
+	}
+	n = 0
+	_ = ix.Overlapping(5.001, 8, func(_, _ float64, _ uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("past end: %d", n)
+	}
+}
+
+// Differential: Index vs the in-memory Tree oracle vs brute force.
+func TestIndexAgainstOracle(t *testing.T) {
+	st := pager.NewMemStore(512)
+	const D = 50.0
+	ix, err := NewIndex(st, bptree.Wide, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewTree()
+	rng := rand.New(rand.NewSource(101))
+	type iv struct {
+		s, e float64
+		v    uint64
+	}
+	var ref []iv
+	for op := 0; op < 5000; op++ {
+		if len(ref) == 0 || rng.Float64() < 0.6 {
+			s := rng.Float64() * 1000
+			e := s + rng.Float64()*D
+			v := uint64(op)
+			if err := ix.Insert(s, e, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle.Insert(s, e, v)
+			ref = append(ref, iv{s, e, v})
+		} else {
+			i := rng.Intn(len(ref))
+			if err := ix.Delete(ref[i].s, ref[i].v); err != nil {
+				t.Fatal(err)
+			}
+			if !oracle.Delete(ref[i].s, ref[i].e, ref[i].v) {
+				t.Fatal("oracle delete missed")
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+	}
+	if ix.Len() != len(ref) || oracle.Len() != len(ref) {
+		t.Fatalf("sizes: index %d oracle %d ref %d", ix.Len(), oracle.Len(), len(ref))
+	}
+	for trial := 0; trial < 100; trial++ {
+		t1 := rng.Float64() * 1000
+		t2 := t1 + rng.Float64()*100
+		want := map[uint64]bool{}
+		for _, r := range ref {
+			if r.s <= t2 && r.e >= t1 {
+				want[r.v] = true
+			}
+		}
+		gotIx := map[uint64]bool{}
+		_ = ix.Overlapping(t1, t2, func(_, _ float64, v uint64) bool { gotIx[v] = true; return true })
+		gotOr := map[uint64]bool{}
+		oracle.Overlapping(t1, t2, func(_, _ float64, v uint64) bool { gotOr[v] = true; return true })
+		if len(gotIx) != len(want) || len(gotOr) != len(want) {
+			t.Fatalf("trial %d: index %d oracle %d want %d", trial, len(gotIx), len(gotOr), len(want))
+		}
+		for v := range want {
+			if !gotIx[v] || !gotOr[v] {
+				t.Fatalf("trial %d: missing %d", trial, v)
+			}
+		}
+	}
+}
+
+// The scan window bounds extra reads: with intervals of duration <= D and
+// uniform starts, a query reads O(answer + D-density) leaf entries.
+func TestIndexScanBound(t *testing.T) {
+	st := pager.NewMemStore(4096)
+	const D = 10.0
+	ix, _ := NewIndex(st, bptree.Compact, D)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		s := rng.Float64() * 10000
+		_ = ix.Insert(s, s+rng.Float64()*D, uint64(i))
+	}
+	before := st.Stats()
+	n := 0
+	_ = ix.Overlapping(5000, 5020, func(_, _ float64, _ uint64) bool { n++; return true })
+	reads := st.Stats().Sub(before).Reads
+	// Window scanned = [4990, 5020] = 30 time units ~ 300 entries ~ 1-2
+	// leaves + height. Anything above ~10 reads means the bound failed.
+	if reads > 10 {
+		t.Fatalf("overlap query used %d reads for %d results", reads, n)
+	}
+}
+
+func TestTreeEarlyStop(t *testing.T) {
+	tr := NewTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), float64(i)+5, uint64(i))
+	}
+	n := 0
+	tr.Overlapping(0, 100, func(_, _ float64, _ uint64) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestTreeDeleteAbsent(t *testing.T) {
+	tr := NewTree()
+	tr.Insert(1, 2, 7)
+	if tr.Delete(1, 2, 8) {
+		t.Fatal("deleted wrong val")
+	}
+	if tr.Delete(1, 3, 7) {
+		t.Fatal("deleted wrong end")
+	}
+	if !tr.Delete(1, 2, 7) {
+		t.Fatal("failed to delete present interval")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Len wrong")
+	}
+}

@@ -1,0 +1,1013 @@
+// Package kdnd is the d-dimensional generalization of the paged k-d tree
+// point access method (see package kdtree for the 2-dimensional variant
+// and its on-page layout rationale). The paper's §4.2 maps 2-dimensional
+// motion to points (vx, ax, vy, ay) in four dimensions and answers the MOR
+// query as a conjunction of linear constraints there; this package
+// provides the paged k-d tree over ℝ^d with linear-constraint search that
+// that approach needs.
+//
+// Directory pages hold binary split nodes (one subtree per page); bucket
+// pages hold points of d 4-byte coordinates plus a 4-byte reference.
+// Constraint classification against a k-d cell (a d-box) is exact: the
+// minimum and maximum of a linear functional over a box are attained at
+// corners chosen per-coordinate by the sign of the coefficient.
+package kdnd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobidx/internal/pager"
+)
+
+// Point is one indexed point with an opaque 32-bit reference.
+type Point struct {
+	Coords []float64
+	Val    uint64
+}
+
+// Constraint is the half-space Coef·x <= C.
+type Constraint struct {
+	Coef []float64
+	C    float64
+}
+
+// Box is an axis-parallel box given by per-dimension bounds.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// Contains reports whether p lies in the box (boundary inclusive).
+func (b Box) Contains(coords []float64) bool {
+	for i := range coords {
+		if coords[i] < b.Lo[i]-1e-9 || coords[i] > b.Hi[i]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b Box) clone() Box {
+	lo := append([]float64(nil), b.Lo...)
+	hi := append([]float64(nil), b.Hi...)
+	return Box{Lo: lo, Hi: hi}
+}
+
+// extremes returns the min and max of c.Coef·x over the box.
+func (b Box) extremes(c Constraint) (lo, hi float64) {
+	for i, a := range c.Coef {
+		if a >= 0 {
+			lo += a * b.Lo[i]
+			hi += a * b.Hi[i]
+		} else {
+			lo += a * b.Hi[i]
+			hi += a * b.Lo[i]
+		}
+	}
+	return lo, hi
+}
+
+// relation classifies the box against a constraint conjunction.
+type relation int
+
+const (
+	outside relation = iota
+	inside
+	partial
+)
+
+func classify(b Box, cs []Constraint) relation {
+	rel := inside
+	for _, c := range cs {
+		lo, hi := b.extremes(c)
+		if lo > c.C+1e-9 {
+			return outside
+		}
+		if hi > c.C+1e-9 {
+			rel = partial
+		}
+	}
+	return rel
+}
+
+func satisfies(coords []float64, cs []Constraint) bool {
+	for _, c := range cs {
+		s := 0.0
+		for i, a := range c.Coef {
+			s += a * coords[i]
+		}
+		if s > c.C+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Config configures a tree.
+type Config struct {
+	// Dims is the dimensionality d (≥ 1).
+	Dims int
+	// World bounds every indexed point and seeds search pruning; its
+	// per-dimension extents also normalize split-dimension selection.
+	World Box
+}
+
+// Tree is a paged d-dimensional k-d tree.
+type Tree struct {
+	store     pager.Store
+	dims      int
+	world     Box
+	rootRef   ref
+	size      int
+	bucketCap int
+	nodeCap   int
+}
+
+type ref uint32
+
+const (
+	tagNode   = 0
+	tagBucket = 1
+	tagDir    = 2
+)
+
+func mkRef(tag int, v uint32) ref { return ref(uint32(tag)<<30 | v) }
+func (r ref) tag() int            { return int(r >> 30) }
+func (r ref) value() uint32       { return uint32(r) & 0x3fffffff }
+
+const (
+	dirHeader    = 12
+	slotSize     = 16
+	bucketHeader = 8
+
+	typeDir    = 11
+	typeBucket = 12
+
+	noSlot = 0xffff
+)
+
+type slot struct {
+	dim         int
+	split       float64
+	left, right ref
+}
+
+type dirPage struct {
+	id    pager.PageID
+	count int
+	root  int
+	free  int
+	high  int
+	slots []slot
+}
+
+type bucket struct {
+	id     pager.PageID
+	next   pager.PageID
+	points []Point
+}
+
+// New creates an empty tree.
+func New(store pager.Store, cfg Config) (*Tree, error) {
+	if cfg.Dims < 1 {
+		return nil, fmt.Errorf("kdnd: dims must be >= 1, got %d", cfg.Dims)
+	}
+	if len(cfg.World.Lo) != cfg.Dims || len(cfg.World.Hi) != cfg.Dims {
+		return nil, fmt.Errorf("kdnd: world bounds must have %d dimensions", cfg.Dims)
+	}
+	for i := range cfg.World.Lo {
+		if !(cfg.World.Lo[i] < cfg.World.Hi[i]) {
+			return nil, fmt.Errorf("kdnd: empty world extent in dimension %d", i)
+		}
+	}
+	t := &Tree{store: store, dims: cfg.Dims, world: cfg.World.clone()}
+	pointSize := 4*cfg.Dims + 4
+	t.bucketCap = (store.PageSize() - bucketHeader) / pointSize
+	t.nodeCap = (store.PageSize() - dirHeader) / slotSize
+	if t.bucketCap < 4 || t.nodeCap < 4 {
+		return nil, fmt.Errorf("kdnd: page size %d too small for %d dims", store.PageSize(), cfg.Dims)
+	}
+	b, err := t.allocBucket()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.writeBucket(b); err != nil {
+		return nil, err
+	}
+	t.rootRef = mkRef(tagBucket, uint32(b.id))
+	return t, nil
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// BucketCap returns the page capacity for data points.
+func (t *Tree) BucketCap() int { return t.bucketCap }
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+func put16(b []byte, v int) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func get16(b []byte) int    { return int(b[0]) | int(b[1])<<8 }
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func putf32(b []byte, f float64) { put32(b, math.Float32bits(float32(f))) }
+func getf32(b []byte) float64    { return float64(math.Float32frombits(get32(b))) }
+
+func (t *Tree) pointSize() int { return 4*t.dims + 4 }
+
+func (t *Tree) allocBucket() (*bucket, error) {
+	p, err := t.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	return &bucket{id: p.ID}, nil
+}
+
+func (t *Tree) writeBucket(b *bucket) error {
+	data := make([]byte, t.store.PageSize())
+	data[0] = typeBucket
+	put16(data[2:], len(b.points))
+	put32(data[4:], uint32(b.next))
+	off := bucketHeader
+	for _, pt := range b.points {
+		for _, c := range pt.Coords {
+			putf32(data[off:], c)
+			off += 4
+		}
+		put32(data[off:], uint32(pt.Val))
+		off += 4
+	}
+	return t.store.Write(&pager.Page{ID: b.id, Data: data})
+}
+
+func (t *Tree) readBucket(id pager.PageID) (*bucket, error) {
+	p, err := t.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	d := p.Data
+	if d[0] != typeBucket {
+		return nil, fmt.Errorf("kdnd: page %d is not a bucket", id)
+	}
+	b := &bucket{id: id, next: pager.PageID(get32(d[4:]))}
+	count := get16(d[2:])
+	b.points = make([]Point, count)
+	off := bucketHeader
+	for i := 0; i < count; i++ {
+		coords := make([]float64, t.dims)
+		for j := range coords {
+			coords[j] = getf32(d[off:])
+			off += 4
+		}
+		b.points[i] = Point{Coords: coords, Val: uint64(get32(d[off:]))}
+		off += 4
+	}
+	return b, nil
+}
+
+func (t *Tree) allocDir() (*dirPage, error) {
+	p, err := t.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	return &dirPage{id: p.ID, free: noSlot, slots: make([]slot, t.nodeCap)}, nil
+}
+
+func (t *Tree) writeDir(dp *dirPage) error {
+	data := make([]byte, t.store.PageSize())
+	data[0] = typeDir
+	put16(data[2:], dp.count)
+	put16(data[4:], dp.root)
+	put16(data[6:], dp.free)
+	put16(data[8:], dp.high)
+	off := dirHeader
+	for i := 0; i < dp.high; i++ {
+		s := dp.slots[i]
+		data[off] = byte(s.dim)
+		putf32(data[off+4:], s.split)
+		put32(data[off+8:], uint32(s.left))
+		put32(data[off+12:], uint32(s.right))
+		off += slotSize
+	}
+	return t.store.Write(&pager.Page{ID: dp.id, Data: data})
+}
+
+func (t *Tree) readDir(id pager.PageID) (*dirPage, error) {
+	p, err := t.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	d := p.Data
+	if d[0] != typeDir {
+		return nil, fmt.Errorf("kdnd: page %d is not a directory page", id)
+	}
+	dp := &dirPage{
+		id:    id,
+		count: get16(d[2:]),
+		root:  get16(d[4:]),
+		free:  get16(d[6:]),
+		high:  get16(d[8:]),
+		slots: make([]slot, t.nodeCap),
+	}
+	off := dirHeader
+	for i := 0; i < dp.high; i++ {
+		dp.slots[i] = slot{
+			dim:   int(d[off]),
+			split: getf32(d[off+4:]),
+			left:  ref(get32(d[off+8:])),
+			right: ref(get32(d[off+12:])),
+		}
+		off += slotSize
+	}
+	return dp, nil
+}
+
+func (dp *dirPage) allocSlot(cap int) (int, bool) {
+	if dp.free != noSlot {
+		i := dp.free
+		dp.free = int(dp.slots[i].left)
+		dp.count++
+		return i, true
+	}
+	if dp.high < cap {
+		i := dp.high
+		dp.high++
+		dp.count++
+		return i, true
+	}
+	return 0, false
+}
+
+func (dp *dirPage) freeSlot(i int) {
+	dp.slots[i] = slot{left: ref(uint32(dp.free))}
+	dp.free = i
+	dp.count--
+}
+
+func roundPoint(p Point) Point {
+	out := Point{Coords: make([]float64, len(p.Coords)), Val: p.Val}
+	for i, c := range p.Coords {
+		out.Coords[i] = float64(float32(c))
+	}
+	return out
+}
+
+func samePoint(a, b Point) bool {
+	if a.Val != b.Val {
+		return false
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Insert / Delete (structure identical to package kdtree, generalized)
+// ---------------------------------------------------------------------------
+
+type pathStep struct {
+	page  *dirPage
+	slot  int
+	right bool
+}
+
+// Insert adds a point.
+func (t *Tree) Insert(p Point) error {
+	if len(p.Coords) != t.dims {
+		return fmt.Errorf("kdnd: point has %d coords, tree has %d dims", len(p.Coords), t.dims)
+	}
+	if p.Val > math.MaxUint32 {
+		return fmt.Errorf("kdnd: value %d does not fit in the 32-bit page slot", p.Val)
+	}
+	p = roundPoint(p)
+	if !t.world.Contains(p.Coords) {
+		return fmt.Errorf("kdnd: point %v outside world", p.Coords)
+	}
+	path, bid, err := t.descend(p.Coords)
+	if err != nil {
+		return err
+	}
+	b, err := t.readBucket(bid)
+	if err != nil {
+		return err
+	}
+	if len(b.points) < t.bucketCap {
+		b.points = append(b.points, p)
+		if err := t.writeBucket(b); err != nil {
+			return err
+		}
+		t.size++
+		return nil
+	}
+	if err := t.splitBucket(path, b, p); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+func (t *Tree) descend(coords []float64) ([]pathStep, pager.PageID, error) {
+	var path []pathStep
+	r := t.rootRef
+	var dp *dirPage
+	var err error
+	for {
+		switch r.tag() {
+		case tagBucket:
+			return path, pager.PageID(r.value()), nil
+		case tagDir:
+			dp, err = t.readDir(pager.PageID(r.value()))
+			if err != nil {
+				return nil, 0, err
+			}
+			r = mkRef(tagNode, uint32(dp.root))
+		case tagNode:
+			s := dp.slots[r.value()]
+			step := pathStep{page: dp, slot: int(r.value())}
+			if coords[s.dim] <= s.split {
+				r = s.left
+			} else {
+				step.right = true
+				r = s.right
+			}
+			path = append(path, step)
+		}
+	}
+}
+
+func (t *Tree) splitBucket(path []pathStep, b *bucket, p Point) error {
+	pts := append(append([]Point(nil), b.points...), p)
+	// Widest normalized spread picks the split dimension.
+	bestDim, bestSpread := -1, -1.0
+	var split float64
+	for d := 0; d < t.dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, q := range pts {
+			lo = math.Min(lo, q.Coords[d])
+			hi = math.Max(hi, q.Coords[d])
+		}
+		spread := (hi - lo) / (t.world.Hi[d] - t.world.Lo[d])
+		if spread > bestSpread {
+			bestDim, bestSpread = d, spread
+		}
+	}
+	ok := false
+	for try := 0; try < t.dims && !ok; try++ {
+		d := (bestDim + try) % t.dims
+		if s, o := medianSplit(pts, d); o {
+			bestDim, split, ok = d, s, true
+		}
+	}
+	if !ok {
+		return t.chainOverflow(b, p)
+	}
+	var left, right []Point
+	for _, q := range pts {
+		if q.Coords[bestDim] <= split {
+			left = append(left, q)
+		} else {
+			right = append(right, q)
+		}
+	}
+	rb, err := t.allocBucket()
+	if err != nil {
+		return err
+	}
+	b.points = left
+	rb.points = right
+	if err := t.writeBucket(b); err != nil {
+		return err
+	}
+	if err := t.writeBucket(rb); err != nil {
+		return err
+	}
+	ns := slot{
+		dim:   bestDim,
+		split: split,
+		left:  mkRef(tagBucket, uint32(b.id)),
+		right: mkRef(tagBucket, uint32(rb.id)),
+	}
+	return t.installNode(path, ns)
+}
+
+func medianSplit(pts []Point, dim int) (float64, bool) {
+	cs := make([]float64, len(pts))
+	for i, q := range pts {
+		cs[i] = q.Coords[dim]
+	}
+	sort.Float64s(cs)
+	if cs[0] == cs[len(cs)-1] {
+		return 0, false
+	}
+	m := cs[len(cs)/2]
+	if m == cs[len(cs)-1] {
+		i := sort.SearchFloat64s(cs, m)
+		m = cs[i-1]
+	}
+	return m, true
+}
+
+func (t *Tree) chainOverflow(b *bucket, p Point) error {
+	for b.next != 0 {
+		nb, err := t.readBucket(b.next)
+		if err != nil {
+			return err
+		}
+		if len(nb.points) < t.bucketCap {
+			nb.points = append(nb.points, p)
+			return t.writeBucket(nb)
+		}
+		b = nb
+	}
+	nb, err := t.allocBucket()
+	if err != nil {
+		return err
+	}
+	nb.points = []Point{p}
+	if err := t.writeBucket(nb); err != nil {
+		return err
+	}
+	b.next = nb.id
+	return t.writeBucket(b)
+}
+
+func (t *Tree) installNode(path []pathStep, ns slot) error {
+	if len(path) == 0 {
+		dp, err := t.allocDir()
+		if err != nil {
+			return err
+		}
+		i, _ := dp.allocSlot(t.nodeCap)
+		dp.slots[i] = ns
+		dp.root = i
+		if err := t.writeDir(dp); err != nil {
+			return err
+		}
+		t.rootRef = mkRef(tagDir, uint32(dp.id))
+		return nil
+	}
+	last := path[len(path)-1]
+	dp := last.page
+	if i, ok := dp.allocSlot(t.nodeCap); ok {
+		dp.slots[i] = ns
+		if last.right {
+			dp.slots[last.slot].right = mkRef(tagNode, uint32(i))
+		} else {
+			dp.slots[last.slot].left = mkRef(tagNode, uint32(i))
+		}
+		return t.writeDir(dp)
+	}
+	if err := t.splitDirPage(dp); err != nil {
+		return err
+	}
+	path2, err := t.findBucketPath(ns.left.value())
+	if err != nil {
+		return err
+	}
+	return t.installNode(path2, ns)
+}
+
+func (t *Tree) findBucketPath(bucketID uint32) ([]pathStep, error) {
+	var out []pathStep
+	found, err := t.findBucketWalk(t.rootRef, nil, bucketID, &out)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("kdnd: bucket %d unreachable", bucketID)
+	}
+	return out, nil
+}
+
+func (t *Tree) findBucketWalk(r ref, dp *dirPage, bucketID uint32, out *[]pathStep) (bool, error) {
+	switch r.tag() {
+	case tagBucket:
+		return r.value() == bucketID, nil
+	case tagDir:
+		ndp, err := t.readDir(pager.PageID(r.value()))
+		if err != nil {
+			return false, err
+		}
+		return t.findBucketWalk(mkRef(tagNode, uint32(ndp.root)), ndp, bucketID, out)
+	default:
+		s := dp.slots[r.value()]
+		*out = append(*out, pathStep{page: dp, slot: int(r.value())})
+		ok, err := t.findBucketWalk(s.left, dp, bucketID, out)
+		if err != nil || ok {
+			return ok, err
+		}
+		(*out)[len(*out)-1].right = true
+		ok, err = t.findBucketWalk(s.right, dp, bucketID, out)
+		if err != nil || ok {
+			return ok, err
+		}
+		*out = (*out)[:len(*out)-1]
+		return false, nil
+	}
+}
+
+func (t *Tree) splitDirPage(dp *dirPage) error {
+	target := dp.count / 2
+	bestSlot, bestDiff := -1, 1<<30
+	var walk func(i int) int
+	walk = func(i int) int {
+		s := dp.slots[i]
+		n := 1
+		if s.left.tag() == tagNode {
+			n += walk(int(s.left.value()))
+		}
+		if s.right.tag() == tagNode {
+			n += walk(int(s.right.value()))
+		}
+		if i != dp.root {
+			d := n - target
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDiff {
+				bestDiff = d
+				bestSlot = i
+			}
+		}
+		return n
+	}
+	walk(dp.root)
+	if bestSlot < 0 {
+		return fmt.Errorf("kdnd: directory page %d cannot split", dp.id)
+	}
+	np, err := t.allocDir()
+	if err != nil {
+		return err
+	}
+	var move func(i int) int
+	move = func(i int) int {
+		s := dp.slots[i]
+		ni, _ := np.allocSlot(t.nodeCap)
+		ns := s
+		if s.left.tag() == tagNode {
+			ns.left = mkRef(tagNode, uint32(move(int(s.left.value()))))
+		}
+		if s.right.tag() == tagNode {
+			ns.right = mkRef(tagNode, uint32(move(int(s.right.value()))))
+		}
+		np.slots[ni] = ns
+		dp.freeSlot(i)
+		return ni
+	}
+	pSlot, pRight, found := dp.findParent(bestSlot)
+	if !found {
+		return fmt.Errorf("kdnd: slot %d has no parent in page %d", bestSlot, dp.id)
+	}
+	nRoot := move(bestSlot)
+	np.root = nRoot
+	if pRight {
+		dp.slots[pSlot].right = mkRef(tagDir, uint32(np.id))
+	} else {
+		dp.slots[pSlot].left = mkRef(tagDir, uint32(np.id))
+	}
+	if err := t.writeDir(np); err != nil {
+		return err
+	}
+	return t.writeDir(dp)
+}
+
+func (dp *dirPage) findParent(i int) (parent int, right bool, found bool) {
+	var walk func(j int) bool
+	walk = func(j int) bool {
+		s := dp.slots[j]
+		if s.left.tag() == tagNode {
+			if int(s.left.value()) == i {
+				parent, right, found = j, false, true
+				return true
+			}
+			if walk(int(s.left.value())) {
+				return true
+			}
+		}
+		if s.right.tag() == tagNode {
+			if int(s.right.value()) == i {
+				parent, right, found = j, true, true
+				return true
+			}
+			if walk(int(s.right.value())) {
+				return true
+			}
+		}
+		return false
+	}
+	if dp.root == i {
+		return 0, false, false
+	}
+	walk(dp.root)
+	return parent, right, found
+}
+
+// Delete removes one point matching p after float32 rounding.
+func (t *Tree) Delete(p Point) (bool, error) {
+	if len(p.Coords) != t.dims {
+		return false, fmt.Errorf("kdnd: point has %d coords, tree has %d dims", len(p.Coords), t.dims)
+	}
+	p = roundPoint(p)
+	path, bid, err := t.descend(p.Coords)
+	if err != nil {
+		return false, err
+	}
+	prevID := pager.PageID(0)
+	id := bid
+	for id != 0 {
+		b, err := t.readBucket(id)
+		if err != nil {
+			return false, err
+		}
+		for i, q := range b.points {
+			if samePoint(q, p) {
+				b.points = append(b.points[:i], b.points[i+1:]...)
+				t.size--
+				if len(b.points) == 0 && b.next == 0 && prevID == 0 {
+					return true, t.collapseBucket(path, b)
+				}
+				if len(b.points) == 0 && prevID != 0 {
+					pb, err := t.readBucket(prevID)
+					if err != nil {
+						return false, err
+					}
+					pb.next = b.next
+					if err := t.writeBucket(pb); err != nil {
+						return false, err
+					}
+					return true, t.store.Free(b.id)
+				}
+				return true, t.writeBucket(b)
+			}
+		}
+		prevID = id
+		id = b.next
+	}
+	return false, nil
+}
+
+func (t *Tree) collapseBucket(path []pathStep, b *bucket) error {
+	if len(path) == 0 {
+		return t.writeBucket(b)
+	}
+	if err := t.store.Free(b.id); err != nil {
+		return err
+	}
+	last := path[len(path)-1]
+	dp := last.page
+	s := dp.slots[last.slot]
+	sibling := s.left
+	if !last.right {
+		sibling = s.right
+	}
+	if last.slot == dp.root {
+		if sibling.tag() == tagNode {
+			dp.root = int(sibling.value())
+			dp.freeSlot(last.slot)
+			return t.writeDir(dp)
+		}
+		if err := t.store.Free(dp.id); err != nil {
+			return err
+		}
+		if len(path) == 1 {
+			t.rootRef = sibling
+			return nil
+		}
+		prev := path[len(path)-2]
+		if prev.right {
+			prev.page.slots[prev.slot].right = sibling
+		} else {
+			prev.page.slots[prev.slot].left = sibling
+		}
+		return t.writeDir(prev.page)
+	}
+	pSlot, pRight, found := dp.findParent(last.slot)
+	if !found {
+		return fmt.Errorf("kdnd: parent of slot %d not found in page %d", last.slot, dp.id)
+	}
+	if pRight {
+		dp.slots[pSlot].right = sibling
+	} else {
+		dp.slots[pSlot].left = sibling
+	}
+	dp.freeSlot(last.slot)
+	return t.writeDir(dp)
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+// SearchConstraints reports every stored point satisfying all constraints.
+func (t *Tree) SearchConstraints(cs []Constraint, fn func(Point) bool) error {
+	for _, c := range cs {
+		if len(c.Coef) != t.dims {
+			return fmt.Errorf("kdnd: constraint has %d coefficients, tree has %d dims", len(c.Coef), t.dims)
+		}
+	}
+	_, err := t.searchRef(t.rootRef, nil, t.world.clone(), cs, fn)
+	return err
+}
+
+func (t *Tree) searchRef(r ref, dp *dirPage, cell Box, cs []Constraint, fn func(Point) bool) (bool, error) {
+	switch classify(cell, cs) {
+	case outside:
+		return true, nil
+	case inside:
+		return t.reportAll(r, dp, fn)
+	}
+	switch r.tag() {
+	case tagBucket:
+		return t.scanChain(pager.PageID(r.value()), cs, true, fn)
+	case tagDir:
+		ndp, err := t.readDir(pager.PageID(r.value()))
+		if err != nil {
+			return false, err
+		}
+		return t.searchRef(mkRef(tagNode, uint32(ndp.root)), ndp, cell, cs, fn)
+	default:
+		s := dp.slots[r.value()]
+		savedLo, savedHi := cell.Lo[s.dim], cell.Hi[s.dim]
+		cell.Hi[s.dim] = s.split
+		cont, err := t.searchRef(s.left, dp, cell, cs, fn)
+		cell.Hi[s.dim] = savedHi
+		if err != nil || !cont {
+			return cont, err
+		}
+		cell.Lo[s.dim] = s.split
+		cont, err = t.searchRef(s.right, dp, cell, cs, fn)
+		cell.Lo[s.dim] = savedLo
+		return cont, err
+	}
+}
+
+func (t *Tree) reportAll(r ref, dp *dirPage, fn func(Point) bool) (bool, error) {
+	switch r.tag() {
+	case tagBucket:
+		return t.scanChain(pager.PageID(r.value()), nil, false, fn)
+	case tagDir:
+		ndp, err := t.readDir(pager.PageID(r.value()))
+		if err != nil {
+			return false, err
+		}
+		return t.reportAll(mkRef(tagNode, uint32(ndp.root)), ndp, fn)
+	default:
+		s := dp.slots[r.value()]
+		cont, err := t.reportAll(s.left, dp, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+		return t.reportAll(s.right, dp, fn)
+	}
+}
+
+func (t *Tree) scanChain(id pager.PageID, cs []Constraint, filter bool, fn func(Point) bool) (bool, error) {
+	for id != 0 {
+		b, err := t.readBucket(id)
+		if err != nil {
+			return false, err
+		}
+		for _, p := range b.points {
+			if filter && !satisfies(p.Coords, cs) {
+				continue
+			}
+			if !fn(p) {
+				return false, nil
+			}
+		}
+		id = b.next
+	}
+	return true, nil
+}
+
+// Destroy frees every page of the tree.
+func (t *Tree) Destroy() error { return t.destroyRef(t.rootRef, nil) }
+
+func (t *Tree) destroyRef(r ref, dp *dirPage) error {
+	switch r.tag() {
+	case tagBucket:
+		id := pager.PageID(r.value())
+		for id != 0 {
+			b, err := t.readBucket(id)
+			if err != nil {
+				return err
+			}
+			if err := t.store.Free(id); err != nil {
+				return err
+			}
+			id = b.next
+		}
+		return nil
+	case tagDir:
+		ndp, err := t.readDir(pager.PageID(r.value()))
+		if err != nil {
+			return err
+		}
+		if err := t.destroyRef(mkRef(tagNode, uint32(ndp.root)), ndp); err != nil {
+			return err
+		}
+		return t.store.Free(ndp.id)
+	default:
+		s := dp.slots[r.value()]
+		if err := t.destroyRef(s.left, dp); err != nil {
+			return err
+		}
+		return t.destroyRef(s.right, dp)
+	}
+}
+
+// CheckInvariants verifies structural invariants; exported for tests.
+func (t *Tree) CheckInvariants() error {
+	count, err := t.checkRef(t.rootRef, nil, t.world.clone(), map[pager.PageID]bool{})
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("kdnd: size %d but %d points reachable", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree) checkRef(r ref, dp *dirPage, cell Box, seen map[pager.PageID]bool) (int, error) {
+	switch r.tag() {
+	case tagBucket:
+		total := 0
+		id := pager.PageID(r.value())
+		for id != 0 {
+			if seen[id] {
+				return 0, fmt.Errorf("kdnd: bucket %d visited twice", id)
+			}
+			seen[id] = true
+			b, err := t.readBucket(id)
+			if err != nil {
+				return 0, err
+			}
+			if len(b.points) > t.bucketCap {
+				return 0, fmt.Errorf("kdnd: bucket %d overfull", id)
+			}
+			for _, p := range b.points {
+				if !cell.Contains(p.Coords) {
+					return 0, fmt.Errorf("kdnd: point %v outside its cell", p.Coords)
+				}
+			}
+			total += len(b.points)
+			id = b.next
+		}
+		return total, nil
+	case tagDir:
+		id := pager.PageID(r.value())
+		if seen[id] {
+			return 0, fmt.Errorf("kdnd: directory page %d visited twice", id)
+		}
+		seen[id] = true
+		ndp, err := t.readDir(id)
+		if err != nil {
+			return 0, err
+		}
+		reach := 0
+		var walk func(i int)
+		walk = func(i int) {
+			reach++
+			s := ndp.slots[i]
+			if s.left.tag() == tagNode {
+				walk(int(s.left.value()))
+			}
+			if s.right.tag() == tagNode {
+				walk(int(s.right.value()))
+			}
+		}
+		walk(ndp.root)
+		if reach != ndp.count {
+			return 0, fmt.Errorf("kdnd: page %d count %d but %d reachable", id, ndp.count, reach)
+		}
+		return t.checkRef(mkRef(tagNode, uint32(ndp.root)), ndp, cell, seen)
+	default:
+		s := dp.slots[r.value()]
+		savedLo, savedHi := cell.Lo[s.dim], cell.Hi[s.dim]
+		cell.Hi[s.dim] = s.split
+		lc, err := t.checkRef(s.left, dp, cell, seen)
+		cell.Hi[s.dim] = savedHi
+		if err != nil {
+			return 0, err
+		}
+		cell.Lo[s.dim] = s.split
+		rc, err := t.checkRef(s.right, dp, cell, seen)
+		cell.Lo[s.dim] = savedLo
+		if err != nil {
+			return 0, err
+		}
+		return lc + rc, nil
+	}
+}

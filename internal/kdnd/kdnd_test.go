@@ -1,0 +1,205 @@
+package kdnd
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/pager"
+)
+
+func world4() Box {
+	return Box{
+		Lo: []float64{0, 0, 0, 0},
+		Hi: []float64{1000, 1000, 1000, 1000},
+	}
+}
+
+func newTree4(t *testing.T, pageSize int) (*Tree, *pager.MemStore) {
+	t.Helper()
+	st := pager.NewMemStore(pageSize)
+	tr, err := New(st, Config{Dims: 4, World: world4()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, st
+}
+
+func randPoint4(rng *rand.Rand, val uint64) Point {
+	return Point{
+		Coords: []float64{
+			rng.Float64() * 1000, rng.Float64() * 1000,
+			rng.Float64() * 1000, rng.Float64() * 1000,
+		},
+		Val: val,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	st := pager.NewMemStore(512)
+	if _, err := New(st, Config{Dims: 0, World: Box{}}); err == nil {
+		t.Fatal("dims 0 accepted")
+	}
+	if _, err := New(st, Config{Dims: 2, World: world4()}); err == nil {
+		t.Fatal("mismatched world accepted")
+	}
+	if _, err := New(st, Config{Dims: 2, World: Box{Lo: []float64{0, 5}, Hi: []float64{1, 5}}}); err == nil {
+		t.Fatal("empty-extent world accepted")
+	}
+}
+
+func TestCapacity4D(t *testing.T) {
+	tr, _ := newTree4(t, 4096)
+	// 4 × 4-byte coords + 4-byte val = 20 bytes: B = 204, the same
+	// record size as the R*-tree baseline.
+	if tr.BucketCap() != 204 {
+		t.Fatalf("bucket cap = %d, want 204", tr.BucketCap())
+	}
+}
+
+func TestRandomOps4DAgainstBruteForce(t *testing.T) {
+	tr, _ := newTree4(t, 512)
+	rng := rand.New(rand.NewSource(111))
+	var ref []Point
+	nextVal := uint64(0)
+	for op := 0; op < 5000; op++ {
+		switch {
+		case len(ref) == 0 || rng.Float64() < 0.62:
+			p := randPoint4(rng, nextVal)
+			nextVal++
+			if err := tr.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, roundPoint(p))
+		default:
+			i := rng.Intn(len(ref))
+			found, err := tr.Delete(ref[i])
+			if err != nil || !found {
+				t.Fatalf("op %d: delete found=%v err=%v", op, found, err)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+		if op%1000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		// Random conjunction of three 4-dimensional half-spaces.
+		cs := make([]Constraint, 3)
+		for i := range cs {
+			cs[i] = Constraint{
+				Coef: []float64{
+					rng.Float64()*2 - 1, rng.Float64()*2 - 1,
+					rng.Float64()*2 - 1, rng.Float64()*2 - 1,
+				},
+				C: rng.Float64() * 2000,
+			}
+		}
+		want := map[uint64]bool{}
+		for _, p := range ref {
+			if satisfies(p.Coords, cs) {
+				want[p.Val] = true
+			}
+		}
+		got := map[uint64]bool{}
+		if err := tr.SearchConstraints(cs, func(p Point) bool { got[p.Val] = true; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for v := range want {
+			if !got[v] {
+				t.Fatalf("missing %d", v)
+			}
+		}
+	}
+}
+
+func TestDimMismatch(t *testing.T) {
+	tr, _ := newTree4(t, 512)
+	if err := tr.Insert(Point{Coords: []float64{1, 2}, Val: 1}); err == nil {
+		t.Fatal("2-coord insert into 4-dim tree accepted")
+	}
+	err := tr.SearchConstraints([]Constraint{{Coef: []float64{1}, C: 0}}, func(Point) bool { return true })
+	if err == nil {
+		t.Fatal("1-coef constraint accepted")
+	}
+}
+
+func TestDegenerateDuplicates4D(t *testing.T) {
+	tr, _ := newTree4(t, 512)
+	n := tr.BucketCap()*2 + 3
+	same := []float64{5, 5, 5, 5}
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Point{Coords: same, Val: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	all := []Constraint{} // no constraints: everything matches
+	_ = tr.SearchConstraints(all, func(Point) bool { count++; return true })
+	if count != n {
+		t.Fatalf("found %d of %d duplicates", count, n)
+	}
+	for i := 0; i < n; i++ {
+		found, err := tr.Delete(Point{Coords: same, Val: uint64(i)})
+		if err != nil || !found {
+			t.Fatalf("delete dup %d: %v %v", i, found, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	tr, st := newTree4(t, 512)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(randPoint4(rng, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesInUse() != 0 {
+		t.Fatalf("%d pages leak after Destroy", st.PagesInUse())
+	}
+}
+
+func TestPruning4D(t *testing.T) {
+	st := pager.NewMemStore(4096)
+	tr, err := New(st, Config{Dims: 4, World: world4()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50000; i++ {
+		if err := tr.Insert(randPoint4(rng, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := st.PagesInUse()
+	before := st.Stats()
+	// Tight box in all four dimensions.
+	cs := []Constraint{
+		{Coef: []float64{1, 0, 0, 0}, C: 120}, {Coef: []float64{-1, 0, 0, 0}, C: -100},
+		{Coef: []float64{0, 1, 0, 0}, C: 120}, {Coef: []float64{0, -1, 0, 0}, C: -100},
+		{Coef: []float64{0, 0, 1, 0}, C: 120}, {Coef: []float64{0, 0, -1, 0}, C: -100},
+		{Coef: []float64{0, 0, 0, 1}, C: 120}, {Coef: []float64{0, 0, 0, -1}, C: -100},
+	}
+	found := 0
+	if err := tr.SearchConstraints(cs, func(Point) bool { found++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	reads := st.Stats().Sub(before).Reads
+	if reads > int64(total/3) {
+		t.Fatalf("query read %d of %d pages", reads, total)
+	}
+}

@@ -1,0 +1,308 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/pager"
+)
+
+var world = geom.Rect{MinX: -10, MinY: -10, MaxX: 1010, MaxY: 1010}
+
+func newTree(t *testing.T, pageSize int) (*Tree, *pager.MemStore) {
+	t.Helper()
+	st := pager.NewMemStore(pageSize)
+	tr, err := New(st, Config{World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, st
+}
+
+func TestBucketCapacity(t *testing.T) {
+	tr, _ := newTree(t, 4096)
+	// 12-byte points: (4096-8)/12 = 340, the paper's B modulo header.
+	if tr.BucketCap() != 340 {
+		t.Fatalf("bucket cap = %d, want 340", tr.BucketCap())
+	}
+}
+
+func TestRejectOutsideWorld(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	if err := tr.Insert(Point{X: 5000, Y: 0, Val: 1}); err == nil {
+		t.Fatal("expected error for out-of-world point")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	for i := 0; i < 500; i++ {
+		p := Point{X: float64(i % 25), Y: float64(i / 25), Val: uint64(i)}
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	_ = tr.SearchRect(geom.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}, func(p Point) bool {
+		got[p.Val] = true
+		return true
+	})
+	want := 0
+	for i := 0; i < 500; i++ {
+		if i%25 <= 5 && i/25 <= 5 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("got %d, want %d", len(got), want)
+	}
+}
+
+func TestRandomOpsAgainstBruteForce(t *testing.T) {
+	for _, pageSize := range []int{256, 512} {
+		tr, _ := newTree(t, pageSize)
+		rng := rand.New(rand.NewSource(71))
+		var ref []Point
+		nextVal := uint64(0)
+		for op := 0; op < 6000; op++ {
+			switch {
+			case len(ref) == 0 || rng.Float64() < 0.62:
+				p := Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: nextVal}
+				nextVal++
+				if err := tr.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				ref = append(ref, roundPoint(p))
+			default:
+				i := rng.Intn(len(ref))
+				found, err := tr.Delete(ref[i])
+				if err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				if !found {
+					t.Fatalf("op %d: delete missed %+v", op, ref[i])
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if op%600 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+		}
+		for trial := 0; trial < 50; trial++ {
+			x, y := rng.Float64()*900, rng.Float64()*900
+			q := geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*200, MaxY: y + rng.Float64()*200}
+			want := map[uint64]bool{}
+			for _, p := range ref {
+				if q.Contains(geom.Point{X: p.X, Y: p.Y}) {
+					want[p.Val] = true
+				}
+			}
+			got := map[uint64]bool{}
+			_ = tr.SearchRect(q, func(p Point) bool { got[p.Val] = true; return true })
+			if len(got) != len(want) {
+				t.Fatalf("page %d: rect query got %d want %d", pageSize, len(got), len(want))
+			}
+			for v := range want {
+				if !got[v] {
+					t.Fatalf("missing %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchRegionWedge(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	rng := rand.New(rand.NewSource(73))
+	var ref []Point
+	for i := 0; i < 4000; i++ {
+		p := Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: uint64(i)}
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, roundPoint(p))
+	}
+	for trial := 0; trial < 30; trial++ {
+		reg := geom.NewRegion(
+			geom.Constraint{A: rng.Float64()*2 - 1, B: rng.Float64()*2 - 1, C: rng.Float64() * 1000},
+			geom.Constraint{A: rng.Float64()*2 - 1, B: rng.Float64()*2 - 1, C: rng.Float64() * 1000},
+			geom.Constraint{A: -1, B: 0, C: 0}, // x >= 0 keeps it bounded-ish
+		)
+		want := map[uint64]bool{}
+		for _, p := range ref {
+			if reg.ContainsPoint(geom.Point{X: p.X, Y: p.Y}) {
+				want[p.Val] = true
+			}
+		}
+		got := map[uint64]bool{}
+		_ = tr.SearchRegion(reg, func(p Point) bool { got[p.Val] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("wedge query got %d want %d", len(got), len(want))
+		}
+	}
+}
+
+// All-identical points must overflow into a chain and still be findable
+// and deletable.
+func TestDegenerateDuplicates(t *testing.T) {
+	tr, _ := newTree(t, 256)
+	cap := tr.BucketCap()
+	n := cap*3 + 5
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Point{X: 7, Y: 7, Val: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	_ = tr.SearchRect(geom.Rect{MinX: 7, MinY: 7, MaxX: 7, MaxY: 7}, func(Point) bool {
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("found %d duplicates, want %d", count, n)
+	}
+	for i := 0; i < n; i++ {
+		found, err := tr.Delete(Point{X: 7, Y: 7, Val: uint64(i)})
+		if err != nil || !found {
+			t.Fatalf("delete dup %d: found=%v err=%v", i, found, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainReclaimsPages(t *testing.T) {
+	tr, st := newTree(t, 256)
+	rng := rand.New(rand.NewSource(79))
+	var ref []Point
+	for i := 0; i < 3000; i++ {
+		p := Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: uint64(i)}
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, roundPoint(p))
+	}
+	full := st.PagesInUse()
+	for i, p := range ref {
+		found, err := tr.Delete(p)
+		if err != nil || !found {
+			t.Fatalf("delete %d: found=%v err=%v", i, found, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Collapses must reclaim nearly everything (a couple of pages of slack
+	// for the root bucket and a possibly-sparse root directory page).
+	if got := st.PagesInUse(); got > 3 {
+		t.Fatalf("pages after drain = %d (was %d), want <= 3", got, full)
+	}
+	// Still usable.
+	if err := tr.Insert(Point{X: 1, Y: 1, Val: 9}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	_ = tr.SearchRect(world, func(Point) bool { n++; return true })
+	if n != 1 {
+		t.Fatal("tree unusable after drain")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr, _ := newTree(t, 256)
+	for i := 0; i < 300; i++ {
+		_ = tr.Insert(Point{X: float64(i), Y: 1, Val: uint64(i)})
+	}
+	n := 0
+	_ = tr.SearchRect(world, func(Point) bool { n++; return n < 9 })
+	if n != 9 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Query I/O must be far below a full scan thanks to k-d pruning.
+func TestQueryIOBetterThanScan(t *testing.T) {
+	st := pager.NewMemStore(4096)
+	tr, err := New(st, Config{World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 100000; i++ {
+		if err := tr.Insert(Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := st.PagesInUse()
+	before := st.Stats()
+	found := 0
+	_ = tr.SearchRect(geom.Rect{MinX: 400, MinY: 400, MaxX: 430, MaxY: 430}, func(Point) bool {
+		found++
+		return true
+	})
+	reads := st.Stats().Sub(before).Reads
+	if found == 0 {
+		t.Fatal("query found nothing")
+	}
+	if reads > int64(total/5) {
+		t.Fatalf("query read %d of %d pages — no pruning?", reads, total)
+	}
+}
+
+// The k-d tree must split on both dimensions for skewed dual-like data —
+// the paper's Figure 3 argument. We verify both dims appear among splits
+// by checking query performance on thin slabs in each dimension.
+func TestSplitsBothDimensions(t *testing.T) {
+	st := pager.NewMemStore(512)
+	// World matches the actual data domain per dimension, as the dual
+	// indexes configure it: narrow velocities, wide intercepts.
+	tr, err := New(st, Config{World: geom.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(89))
+	// Skewed: x in a narrow band (like velocities), y widely spread (like
+	// intercepts).
+	for i := 0; i < 20000; i++ {
+		p := Point{X: rng.Float64() * 2, Y: rng.Float64() * 1000, Val: uint64(i)}
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := st.PagesInUse()
+	// Thin slab in x: only a fraction of pages should be read.
+	before := st.Stats()
+	_ = tr.SearchRect(geom.Rect{MinX: 0, MinY: 0, MaxX: 0.2, MaxY: 1000}, func(Point) bool { return true })
+	xReads := st.Stats().Sub(before).Reads
+	if xReads > int64(total)*2/5 {
+		t.Fatalf("x-slab read %d of %d pages: x dimension never split", xReads, total)
+	}
+	before = st.Stats()
+	_ = tr.SearchRect(geom.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 100}, func(Point) bool { return true })
+	yReads := st.Stats().Sub(before).Reads
+	if yReads > int64(total)*2/5 {
+		t.Fatalf("y-slab read %d of %d pages: y dimension never split", yReads, total)
+	}
+}

@@ -1,0 +1,534 @@
+package kinetic
+
+import (
+	"fmt"
+	"sort"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/pager"
+)
+
+// This file implements the partially persistent embedded B-tree of Lemma 4:
+// the evolving sorted list L(t) of N mobile objects is stored as a B-tree
+// over the static positions 1..N, and each node's evolution is recorded as
+// a base copy plus a change log, with a fresh copy materialized every Θ(B)
+// changes and posted as a change into the parent's own log. Searching L(t)
+// costs O(log_B(n+m)) I/Os: O(log_B m) to find the root copy valid at t
+// (a B+-tree over root versions) and O(1) per level after that (one copy
+// page plus at most one log page, by the copy cadence).
+//
+// The structure is built offline from the full, time-sorted change stream
+// (the crossing events of Lemma 3), which lets each node's version chain be
+// laid out bottom-up: leaves first, then each internal level consuming the
+// copy/router events its children emitted.
+
+// occupant is the record stored for one list position: the object and its
+// motion, from which the position's value at any query time t in the
+// structure's window is y0 + v·(t − tStart).
+type occupant struct {
+	oid uint32
+	y0  float64
+	v   float64
+}
+
+// change is one mutation of the list: position pos holds occ from time on.
+type change struct {
+	time float64
+	pos  int
+	occ  occupant
+}
+
+// Page layouts (little endian):
+//
+// Leaf copy (type 5):
+//
+//	off 0: type, off 2: count u16, off 4: lo u32 (first position),
+//	off 8: logPtr u32; occupants at off 12, 20 bytes each
+//	(oid u32, y0 f64, v f64).
+//
+// Leaf log (type 6):
+//
+//	off 0: type, off 2: count u16, off 4: next u32;
+//	records at off 8, 32 bytes each (time f64, pos u32, occupant 20).
+//
+// Internal copy (type 7):
+//
+//	off 0: type, off 2: count u16, off 4: logPtr u32;
+//	children at off 8, 24 bytes each (router occupant 20, ptr u32).
+//
+// Internal log (type 8):
+//
+//	off 0: type, off 2: count u16, off 4: next u32;
+//	records at off 8, 36 bytes each
+//	(time f64, childIdx u16, kind u8, pad, router 20, ptr u32).
+const (
+	typeLeafCopy = 5
+	typeLeafLog  = 6
+	typeIntCopy  = 7
+	typeIntLog   = 8
+
+	occSize     = 20
+	leafRecSize = 32
+	childSize   = 24
+	intRecSize  = 36
+
+	kindRouter = 1 // router change only
+	kindCopy   = 2 // child copy pointer change (router refreshed too)
+)
+
+func put16(b []byte, v int) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func get16(b []byte) int    { return int(b[0]) | int(b[1])<<8 }
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+func get64(b []byte) uint64 { return uint64(get32(b)) | uint64(get32(b[4:]))<<32 }
+
+func putf64(b []byte, f float64) { put64(b, mathFloat64bits(f)) }
+func getf64(b []byte) float64    { return mathFloat64frombits(get64(b)) }
+
+func putOcc(b []byte, o occupant) {
+	put32(b, o.oid)
+	putf64(b[4:], o.y0)
+	putf64(b[12:], o.v)
+}
+
+func getOcc(b []byte) occupant {
+	return occupant{oid: get32(b), y0: getf64(b[4:]), v: getf64(b[12:])}
+}
+
+// builder writes the persistent structure for one node level at a time.
+type builder struct {
+	store    pager.Store
+	pageSize int
+
+	leafSpan   int // positions per leaf
+	leafLogCap int // records per leaf log page == copy cadence
+	fanout     int // children per internal node
+	intLogCap  int // records per internal log page == copy cadence
+}
+
+func newBuilder(store pager.Store) *builder {
+	ps := store.PageSize()
+	return &builder{
+		store:      store,
+		pageSize:   ps,
+		leafSpan:   (ps - 12) / occSize,
+		leafLogCap: (ps - 8) / leafRecSize,
+		fanout:     (ps - 8) / childSize,
+		intLogCap:  (ps - 8) / intRecSize,
+	}
+}
+
+// childEvent is what a node emits to its parent while being built.
+type childEvent struct {
+	time   float64
+	kind   int // kindRouter or kindCopy
+	router occupant
+	ptr    pager.PageID // for kindCopy
+}
+
+// writeLeafLog writes one log page of leaf records and returns its id.
+func (bd *builder) writeLeafLog(recs []change) (pager.PageID, error) {
+	p, err := bd.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	d := p.Data
+	d[0] = typeLeafLog
+	put16(d[2:], len(recs))
+	off := 8
+	for _, r := range recs {
+		putf64(d[off:], r.time)
+		put32(d[off+8:], uint32(r.pos))
+		putOcc(d[off+12:], r.occ)
+		off += leafRecSize
+	}
+	if err := bd.store.Write(p); err != nil {
+		return 0, err
+	}
+	return p.ID, nil
+}
+
+// writeLeafCopy writes a leaf snapshot pointing at logPtr.
+func (bd *builder) writeLeafCopy(lo int, occs []occupant, logPtr pager.PageID) (pager.PageID, error) {
+	p, err := bd.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	d := p.Data
+	d[0] = typeLeafCopy
+	put16(d[2:], len(occs))
+	put32(d[4:], uint32(lo))
+	put32(d[8:], uint32(logPtr))
+	off := 12
+	for _, o := range occs {
+		putOcc(d[off:], o)
+		off += occSize
+	}
+	if err := bd.store.Write(p); err != nil {
+		return 0, err
+	}
+	return p.ID, nil
+}
+
+// buildLeaf lays out one leaf's version chain: alternating log pages and
+// refreshed copies every leafLogCap changes. It returns the events the
+// parent must record. changes must be time-sorted and scoped to positions
+// [lo, lo+len(init)).
+func (bd *builder) buildLeaf(lo int, init []occupant, changes []change) ([]childEvent, error) {
+	var events []childEvent
+	state := append([]occupant(nil), init...)
+
+	emitRouter := func(t float64) {
+		events = append(events, childEvent{time: t, kind: kindRouter, router: state[0]})
+	}
+
+	for start := 0; ; start += bd.leafLogCap {
+		end := start + bd.leafLogCap
+		if end > len(changes) {
+			end = len(changes)
+		}
+		group := changes[start:end]
+		var logPtr pager.PageID
+		if len(group) > 0 {
+			var err error
+			if logPtr, err = bd.writeLeafLog(group); err != nil {
+				return nil, err
+			}
+		}
+		copyID, err := bd.writeLeafCopy(lo, state, logPtr)
+		if err != nil {
+			return nil, err
+		}
+		if start == 0 {
+			// Initial copy: the parent's initial state points here.
+			events = append(events, childEvent{time: negInf(), kind: kindCopy, router: state[0], ptr: copyID})
+		} else {
+			// This copy supersedes the previous one from the time of the
+			// last change it absorbed.
+			events = append(events, childEvent{time: changes[start-1].time, kind: kindCopy, router: state[0], ptr: copyID})
+		}
+		// Apply the group to the state and surface router changes.
+		for _, ch := range group {
+			state[ch.pos-lo] = ch.occ
+			if ch.pos == lo {
+				emitRouter(ch.time)
+			}
+		}
+		if end == len(changes) {
+			break
+		}
+	}
+	return events, nil
+}
+
+type childState struct {
+	router occupant
+	ptr    pager.PageID
+}
+
+// intRecord is one internal-node log record.
+type intRecord struct {
+	time     float64
+	childIdx int
+	kind     int
+	router   occupant
+	ptr      pager.PageID
+}
+
+func (bd *builder) writeIntLog(recs []intRecord) (pager.PageID, error) {
+	p, err := bd.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	d := p.Data
+	d[0] = typeIntLog
+	put16(d[2:], len(recs))
+	off := 8
+	for _, r := range recs {
+		putf64(d[off:], r.time)
+		put16(d[off+8:], r.childIdx)
+		d[off+10] = byte(r.kind)
+		putOcc(d[off+12:], r.router)
+		put32(d[off+32:], uint32(r.ptr))
+		off += intRecSize
+	}
+	if err := bd.store.Write(p); err != nil {
+		return 0, err
+	}
+	return p.ID, nil
+}
+
+func (bd *builder) writeIntCopy(kids []childState, logPtr pager.PageID) (pager.PageID, error) {
+	p, err := bd.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	d := p.Data
+	d[0] = typeIntCopy
+	put16(d[2:], len(kids))
+	put32(d[4:], uint32(logPtr))
+	off := 8
+	for _, k := range kids {
+		putOcc(d[off:], k.router)
+		put32(d[off+20:], uint32(k.ptr))
+		off += childSize
+	}
+	if err := bd.store.Write(p); err != nil {
+		return 0, err
+	}
+	return p.ID, nil
+}
+
+// buildInternal lays out one internal node over the given children's event
+// streams. childEvents is the time-merged stream with the childIdx already
+// attached; each child's initial kindCopy event (time == -inf) must come
+// first and seeds the initial state.
+func (bd *builder) buildInternal(recs []intRecord, nChildren int) ([]childEvent, error) {
+	state := make([]childState, nChildren)
+	// Consume the initial events.
+	i := 0
+	for ; i < len(recs) && recs[i].time == negInf(); i++ {
+		r := recs[i]
+		state[r.childIdx] = childState{router: r.router, ptr: r.ptr}
+	}
+	recs = recs[i:]
+
+	var events []childEvent
+	for start := 0; ; start += bd.intLogCap {
+		end := start + bd.intLogCap
+		if end > len(recs) {
+			end = len(recs)
+		}
+		group := recs[start:end]
+		var logPtr pager.PageID
+		if len(group) > 0 {
+			var err error
+			if logPtr, err = bd.writeIntLog(group); err != nil {
+				return nil, err
+			}
+		}
+		copyID, err := bd.writeIntCopy(state, logPtr)
+		if err != nil {
+			return nil, err
+		}
+		var at float64
+		if start == 0 {
+			at = negInf()
+		} else {
+			at = recs[start-1].time
+		}
+		events = append(events, childEvent{time: at, kind: kindCopy, router: state[0].router, ptr: copyID})
+		for _, r := range group {
+			switch r.kind {
+			case kindRouter:
+				state[r.childIdx].router = r.router
+			case kindCopy:
+				state[r.childIdx] = childState{router: r.router, ptr: r.ptr}
+			}
+			if r.childIdx == 0 {
+				events = append(events, childEvent{time: r.time, kind: kindRouter, router: state[0].router})
+			}
+		}
+		if end == len(recs) {
+			break
+		}
+	}
+	return events, nil
+}
+
+// buildTree builds the whole persistent tree from the initial list and the
+// time-sorted change stream, returning the root-version index (time ->
+// root copy page) and the tree height (1 = root is a leaf).
+func (bd *builder) buildTree(init []occupant, changes []change) (*bptree.Tree, int, error) {
+	n := len(init)
+	if n == 0 {
+		vt, err := bptree.New(bd.store, bptree.Config{Codec: bptree.Wide})
+		return vt, 0, err
+	}
+	// Leaf level.
+	nLeaves := (n + bd.leafSpan - 1) / bd.leafSpan
+	perLeaf := make([][]change, nLeaves)
+	for _, ch := range changes {
+		li := ch.pos / bd.leafSpan
+		perLeaf[li] = append(perLeaf[li], ch)
+	}
+	level := make([][]childEvent, nLeaves)
+	for li := 0; li < nLeaves; li++ {
+		lo := li * bd.leafSpan
+		hi := lo + bd.leafSpan
+		if hi > n {
+			hi = n
+		}
+		evs, err := bd.buildLeaf(lo, init[lo:hi], perLeaf[li])
+		if err != nil {
+			return nil, 0, err
+		}
+		level[li] = evs
+	}
+	height := 1
+	// Internal levels.
+	for len(level) > 1 {
+		nNodes := (len(level) + bd.fanout - 1) / bd.fanout
+		next := make([][]childEvent, nNodes)
+		for ni := 0; ni < nNodes; ni++ {
+			lo := ni * bd.fanout
+			hi := lo + bd.fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			recs := mergeChildEvents(level[lo:hi])
+			evs, err := bd.buildInternal(recs, hi-lo)
+			if err != nil {
+				return nil, 0, err
+			}
+			next[ni] = evs
+		}
+		level = next
+		height++
+	}
+	// Root: its kindCopy events form the version index.
+	vt, err := bptree.New(bd.store, bptree.Config{Codec: bptree.Wide})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, ev := range level[0] {
+		if ev.kind != kindCopy {
+			continue
+		}
+		t := ev.time
+		if t == negInf() {
+			t = -1e300 // representable sentinel below every query time
+		}
+		if err := vt.Insert(bptree.Entry{Key: t, Val: uint64(ev.ptr)}); err != nil {
+			return nil, 0, err
+		}
+	}
+	return vt, height, nil
+}
+
+// mergeChildEvents merges per-child event streams into one time-sorted
+// record stream with child indexes attached. Initial (time == -inf) events
+// sort first; ties otherwise keep child order, which is safe because
+// records at equal times are replayed together.
+func mergeChildEvents(kids [][]childEvent) []intRecord {
+	var out []intRecord
+	for ci, evs := range kids {
+		for _, e := range evs {
+			out = append(out, intRecord{
+				time: e.time, childIdx: ci, kind: e.kind, router: e.router, ptr: e.ptr,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+// leafState reconstructs a leaf's occupants as of time t from copy page id.
+func (bd *builder) leafState(id pager.PageID, t float64) (lo int, occs []occupant, err error) {
+	p, err := bd.store.Read(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	d := p.Data
+	if d[0] != typeLeafCopy {
+		return 0, nil, fmt.Errorf("kinetic: page %d is not a leaf copy", id)
+	}
+	count := get16(d[2:])
+	lo = int(get32(d[4:]))
+	logPtr := pager.PageID(get32(d[8:]))
+	occs = make([]occupant, count)
+	off := 12
+	for i := 0; i < count; i++ {
+		occs[i] = getOcc(d[off:])
+		off += occSize
+	}
+	for logPtr != 0 {
+		lp, err := bd.store.Read(logPtr)
+		if err != nil {
+			return 0, nil, err
+		}
+		ld := lp.Data
+		if ld[0] != typeLeafLog {
+			return 0, nil, fmt.Errorf("kinetic: page %d is not a leaf log", logPtr)
+		}
+		lc := get16(ld[2:])
+		loff := 8
+		for i := 0; i < lc; i++ {
+			rt := getf64(ld[loff:])
+			if rt <= t {
+				pos := int(get32(ld[loff+8:]))
+				occs[pos-lo] = getOcc(ld[loff+12:])
+			}
+			loff += leafRecSize
+		}
+		logPtr = pager.PageID(get32(ld[4:]))
+	}
+	return lo, occs, nil
+}
+
+// intState reconstructs an internal node's child states as of time t.
+func (bd *builder) intState(id pager.PageID, t float64) ([]childState, error) {
+	p, err := bd.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	d := p.Data
+	if d[0] != typeIntCopy {
+		return nil, fmt.Errorf("kinetic: page %d is not an internal copy", id)
+	}
+	count := get16(d[2:])
+	logPtr := pager.PageID(get32(d[4:]))
+	kids := make([]childState, count)
+	off := 8
+	for i := 0; i < count; i++ {
+		kids[i] = childState{router: getOcc(d[off:]), ptr: pager.PageID(get32(d[off+20:]))}
+		off += childSize
+	}
+	for logPtr != 0 {
+		lp, err := bd.store.Read(logPtr)
+		if err != nil {
+			return nil, err
+		}
+		ld := lp.Data
+		if ld[0] != typeIntLog {
+			return nil, fmt.Errorf("kinetic: page %d is not an internal log", logPtr)
+		}
+		lc := get16(ld[2:])
+		loff := 8
+		for i := 0; i < lc; i++ {
+			rt := getf64(ld[loff:])
+			if rt <= t {
+				ci := get16(ld[loff+8:])
+				kind := int(ld[loff+10])
+				switch kind {
+				case kindRouter:
+					kids[ci].router = getOcc(ld[loff+12:])
+				case kindCopy:
+					kids[ci] = childState{
+						router: getOcc(ld[loff+12:]),
+						ptr:    pager.PageID(get32(ld[loff+32:])),
+					}
+				}
+			}
+			loff += intRecSize
+		}
+		logPtr = pager.PageID(get32(ld[4:]))
+	}
+	return kids, nil
+}

@@ -1,0 +1,122 @@
+package pager
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Buffered wraps a Store with a small LRU buffer pool. Reads that hit the
+// pool cost nothing against the underlying store; this mirrors the paper's
+// buffering scheme (§5), which keeps only the current root-to-leaf path
+// (3-4 pages) and clears the pool before every query.
+//
+// Writes go through to the underlying store immediately (write-through) and
+// refresh the cached copy, so the pool never holds stale data.
+type Buffered struct {
+	mu      sync.Mutex
+	under   Store
+	cap     int
+	lru     *list.List               // front = most recently used; values are *bufEntry
+	entries map[PageID]*list.Element // page id -> lru element
+}
+
+type bufEntry struct {
+	id   PageID
+	data []byte
+}
+
+// NewBuffered wraps under with an LRU pool holding capacity pages. A
+// capacity of zero disables caching entirely.
+func NewBuffered(under Store, capacity int) *Buffered {
+	return &Buffered{
+		under:   under,
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[PageID]*list.Element),
+	}
+}
+
+// Clear empties the pool; the paper clears buffers before timing a query.
+func (b *Buffered) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lru.Init()
+	b.entries = make(map[PageID]*list.Element)
+}
+
+// PageSize implements Store.
+func (b *Buffered) PageSize() int { return b.under.PageSize() }
+
+// Allocate implements Store.
+func (b *Buffered) Allocate() (*Page, error) { return b.under.Allocate() }
+
+// Read implements Store, serving from the pool when possible.
+func (b *Buffered) Read(id PageID) (*Page, error) {
+	b.mu.Lock()
+	if el, ok := b.entries[id]; ok {
+		b.lru.MoveToFront(el)
+		e := el.Value.(*bufEntry)
+		data := make([]byte, len(e.data))
+		copy(data, e.data)
+		b.mu.Unlock()
+		return &Page{ID: id, Data: data}, nil
+	}
+	b.mu.Unlock()
+	p, err := b.under.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	b.install(id, p.Data)
+	return p, nil
+}
+
+// Write implements Store (write-through).
+func (b *Buffered) Write(p *Page) error {
+	if err := b.under.Write(p); err != nil {
+		return err
+	}
+	b.install(p.ID, p.Data)
+	return nil
+}
+
+func (b *Buffered) install(id PageID, data []byte) {
+	if b.cap <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.entries[id]; ok {
+		e := el.Value.(*bufEntry)
+		copy(e.data, data)
+		b.lru.MoveToFront(el)
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	el := b.lru.PushFront(&bufEntry{id: id, data: cp})
+	b.entries[id] = el
+	for b.lru.Len() > b.cap {
+		last := b.lru.Back()
+		e := last.Value.(*bufEntry)
+		delete(b.entries, e.id)
+		b.lru.Remove(last)
+	}
+}
+
+// Free implements Store, dropping any cached copy.
+func (b *Buffered) Free(id PageID) error {
+	b.mu.Lock()
+	if el, ok := b.entries[id]; ok {
+		delete(b.entries, id)
+		b.lru.Remove(el)
+	}
+	b.mu.Unlock()
+	return b.under.Free(id)
+}
+
+// Stats implements Store, reporting the underlying store's traffic: a
+// buffer hit is free, exactly as in the paper's accounting.
+func (b *Buffered) Stats() Stats { return b.under.Stats() }
+
+// PagesInUse implements Store.
+func (b *Buffered) PagesInUse() int { return b.under.PagesInUse() }

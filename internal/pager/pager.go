@@ -1,0 +1,286 @@
+// Package pager implements the external memory model of Aggarwal and
+// Vitter used throughout the paper: storage is a sequence of fixed-size
+// pages, each disk access transfers one page, and the cost of an algorithm
+// is the number of page I/Os it performs.
+//
+// Every index in this repository stores its nodes in pages obtained from a
+// Store and is measured exclusively through the Store's I/O statistics. A
+// small buffer pool mirrors the paper's buffering scheme (§5): "for each
+// tree we buffer the path from the root to a leaf node", i.e. only a
+// handful of pages, and the pool is cleared before each query.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page size used in the paper's experiments (§5).
+const DefaultPageSize = 4096
+
+// PageID identifies a page within a Store. Zero is never a valid page, so
+// it can be used as a nil pointer in on-page structures.
+type PageID uint32
+
+// NilPage is the invalid page id used to represent absent children.
+const NilPage PageID = 0
+
+// Page is one fixed-size block of storage.
+type Page struct {
+	ID   PageID
+	Data []byte
+}
+
+// Stats counts the I/O traffic of a Store.
+type Stats struct {
+	Reads  int64 // page reads that reached the store (buffer misses)
+	Writes int64 // page writes that reached the store
+	Allocs int64 // pages allocated over the store's lifetime
+	Frees  int64 // pages returned to the free list
+}
+
+// IOs returns the total I/O count, the metric reported in the paper's
+// figures.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Sub returns the difference s - t, for measuring an interval of work.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes,
+		Allocs: s.Allocs - t.Allocs, Frees: s.Frees - t.Frees}
+}
+
+// Store is the storage abstraction: allocate, read, write and free pages,
+// and report statistics.
+type Store interface {
+	// PageSize returns the fixed size in bytes of every page.
+	PageSize() int
+	// Allocate returns a new zeroed page.
+	Allocate() (*Page, error)
+	// Read fetches the page with the given id.
+	Read(id PageID) (*Page, error)
+	// Write persists the page.
+	Write(p *Page) error
+	// Free returns the page to the allocator.
+	Free(id PageID) error
+	// Stats returns the cumulative I/O statistics.
+	Stats() Stats
+	// PagesInUse returns the number of live (allocated, not freed) pages:
+	// the space consumption of whatever is stored.
+	PagesInUse() int
+}
+
+// ErrPageNotFound is returned when reading an unallocated or freed page.
+var ErrPageNotFound = errors.New("pager: page not found")
+
+// MemStore is an in-memory Store. It is the default substrate for
+// experiments: I/Os are counted, not performed, exactly as needed to
+// reproduce the paper's I/O-count metrics at modern speeds.
+type MemStore struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[PageID][]byte
+	free     []PageID
+	next     PageID
+	stats    Stats
+}
+
+// NewMemStore returns an empty in-memory store with the given page size.
+func NewMemStore(pageSize int) *MemStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemStore{
+		pageSize: pageSize,
+		pages:    make(map[PageID][]byte),
+		next:     1,
+	}
+}
+
+// PageSize implements Store.
+func (m *MemStore) PageSize() int { return m.pageSize }
+
+// Allocate implements Store.
+func (m *MemStore) Allocate() (*Page, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var id PageID
+	if n := len(m.free); n > 0 {
+		id = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		id = m.next
+		m.next++
+	}
+	buf := make([]byte, m.pageSize)
+	m.pages[id] = buf
+	m.stats.Allocs++
+	// An allocation materializes the page in memory; the caller writes it
+	// out explicitly, so allocation itself costs no I/O.
+	data := make([]byte, m.pageSize)
+	return &Page{ID: id, Data: data}, nil
+}
+
+// Read implements Store.
+func (m *MemStore) Read(id PageID) (*Page, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	m.stats.Reads++
+	data := make([]byte, m.pageSize)
+	copy(data, buf)
+	return &Page{ID: id, Data: data}, nil
+}
+
+// Write implements Store.
+func (m *MemStore) Write(p *Page) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.pages[p.ID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, p.ID)
+	}
+	m.stats.Writes++
+	copy(buf, p.Data)
+	return nil
+}
+
+// Free implements Store.
+func (m *MemStore) Free(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pages[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	delete(m.pages, id)
+	m.free = append(m.free, id)
+	m.stats.Frees++
+	return nil
+}
+
+// Stats implements Store.
+func (m *MemStore) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// PagesInUse implements Store.
+func (m *MemStore) PagesInUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pages)
+}
+
+// FileStore is a Store backed by a single file, one page per slot. It
+// demonstrates that every structure in this repository serializes cleanly
+// to real disk pages; experiments normally use MemStore for speed.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	free     []PageID
+	next     PageID
+	live     map[PageID]struct{}
+	stats    Stats
+}
+
+// NewFileStore creates (truncating) a file-backed store at path.
+func NewFileStore(path string, pageSize int) (*FileStore, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	return &FileStore{f: f, pageSize: pageSize, next: 1, live: make(map[PageID]struct{})}, nil
+}
+
+// Close closes the backing file.
+func (fs *FileStore) Close() error { return fs.f.Close() }
+
+// PageSize implements Store.
+func (fs *FileStore) PageSize() int { return fs.pageSize }
+
+func (fs *FileStore) offset(id PageID) int64 { return int64(id-1) * int64(fs.pageSize) }
+
+// Allocate implements Store.
+func (fs *FileStore) Allocate() (*Page, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var id PageID
+	if n := len(fs.free); n > 0 {
+		id = fs.free[n-1]
+		fs.free = fs.free[:n-1]
+	} else {
+		id = fs.next
+		fs.next++
+	}
+	fs.live[id] = struct{}{}
+	fs.stats.Allocs++
+	return &Page{ID: id, Data: make([]byte, fs.pageSize)}, nil
+}
+
+// Read implements Store.
+func (fs *FileStore) Read(id PageID) (*Page, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.live[id]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	data := make([]byte, fs.pageSize)
+	if _, err := fs.f.ReadAt(data, fs.offset(id)); err != nil {
+		// A page allocated but never written reads as zeroes.
+		for i := range data {
+			data[i] = 0
+		}
+	}
+	fs.stats.Reads++
+	return &Page{ID: id, Data: data}, nil
+}
+
+// Write implements Store.
+func (fs *FileStore) Write(p *Page) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.live[p.ID]; !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, p.ID)
+	}
+	if _, err := fs.f.WriteAt(p.Data, fs.offset(p.ID)); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", p.ID, err)
+	}
+	fs.stats.Writes++
+	return nil
+}
+
+// Free implements Store.
+func (fs *FileStore) Free(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.live[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	delete(fs.live, id)
+	fs.free = append(fs.free, id)
+	fs.stats.Frees++
+	return nil
+}
+
+// Stats implements Store.
+func (fs *FileStore) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// PagesInUse implements Store.
+func (fs *FileStore) PagesInUse() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.live)
+}

@@ -1,0 +1,590 @@
+package parttree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobidx/internal/kdnd"
+	"mobidx/internal/pager"
+)
+
+// NDTree is the d-dimensional generalization of Tree, used for the §4.2
+// remark that a 4-dimensional partition tree answers the two-dimensional
+// MOR query in O(n^(3/4+ε) + k) I/Os — the almost-optimal bound in four
+// dimensions. Cells are d-boxes from recursive median subdivision;
+// queries are conjunctions of linear constraints (kdnd.Constraint), with
+// box-vs-halfspace classification exact at box corners.
+//
+// Like Tree it is dynamized with the Overmars logarithmic method: static
+// blocks of (at least) doubling sizes, binary-counter merges on insert,
+// weak deletes with a half-dead global rebuild.
+type NDTree struct {
+	store   pager.Store
+	dims    int
+	fanout  int
+	leafCap int
+	blocks  []*ndBlock
+	size    int
+	dead    int
+}
+
+type ndBlock struct {
+	root pager.PageID
+	size int
+}
+
+// NDPoint is one indexed point.
+type NDPoint struct {
+	Coords []float64
+	Val    uint64
+}
+
+// Page layout:
+//
+// Internal (type 13): off 0 type, off 2 count u16;
+//
+//	entries at off 8, (8·d + 4) bytes: box lo/hi per dim (f32) + child u32.
+//
+// Leaf (type 14): off 0 type, off 2 count u16;
+//
+//	points at off 8, (4·d + 4) bytes each.
+const (
+	ndTypeInternal = 13
+	ndTypeLeaf     = 14
+	ndHeader       = 8
+)
+
+// NewND creates an empty d-dimensional partition tree.
+func NewND(store pager.Store, dims int) (*NDTree, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("parttree: dims must be >= 1, got %d", dims)
+	}
+	t := &NDTree{store: store, dims: dims}
+	t.fanout = (store.PageSize() - ndHeader) / (8*dims + 4)
+	t.leafCap = (store.PageSize() - ndHeader) / (4*dims + 4)
+	if t.fanout < 2 || t.leafCap < 2 {
+		return nil, fmt.Errorf("parttree: page size %d too small for %d dims", store.PageSize(), dims)
+	}
+	return t, nil
+}
+
+// Len returns the number of live points.
+func (t *NDTree) Len() int { return t.size }
+
+// Blocks returns the number of static blocks.
+func (t *NDTree) Blocks() int { return len(t.blocks) }
+
+func ndRound(p NDPoint) NDPoint {
+	out := NDPoint{Coords: make([]float64, len(p.Coords)), Val: p.Val}
+	for i, c := range p.Coords {
+		out.Coords[i] = float64(float32(c))
+	}
+	return out
+}
+
+func ndBound(dims int, pts []NDPoint) kdnd.Box {
+	b := kdnd.Box{Lo: make([]float64, dims), Hi: make([]float64, dims)}
+	for d := 0; d < dims; d++ {
+		b.Lo[d] = math.Inf(1)
+		b.Hi[d] = math.Inf(-1)
+	}
+	for _, p := range pts {
+		for d, c := range p.Coords {
+			b.Lo[d] = math.Min(b.Lo[d], c)
+			b.Hi[d] = math.Max(b.Hi[d], c)
+		}
+	}
+	return b
+}
+
+// ndPartition splits pts into at most r balanced cells by repeatedly
+// halving the largest cell at the median of its widest dimension.
+func ndPartition(dims int, pts []NDPoint, r int) [][]NDPoint {
+	out := [][]NDPoint{pts}
+	for len(out) < r {
+		bi, bn := -1, 1
+		for i, c := range out {
+			if len(c) > bn {
+				bi, bn = i, len(c)
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		c := out[bi]
+		b := ndBound(dims, c)
+		dim, spread := 0, -1.0
+		for d := 0; d < dims; d++ {
+			if s := b.Hi[d] - b.Lo[d]; s > spread {
+				dim, spread = d, s
+			}
+		}
+		sort.Slice(c, func(a, b int) bool { return c[a].Coords[dim] < c[b].Coords[dim] })
+		mid := len(c) / 2
+		out[bi] = c[:mid]
+		out = append(out, c[mid:])
+	}
+	keep := out[:0]
+	for _, c := range out {
+		if len(c) > 0 {
+			keep = append(keep, c)
+		}
+	}
+	return keep
+}
+
+func put16nd(b []byte, v int) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func get16nd(b []byte) int    { return int(b[0]) | int(b[1])<<8 }
+func put32nd(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func get32nd(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func putf32nd(b []byte, f float64) { put32nd(b, math.Float32bits(float32(f))) }
+func getf32nd(b []byte) float64    { return float64(math.Float32frombits(get32nd(b))) }
+
+func (t *NDTree) buildStatic(pts []NDPoint) (pager.PageID, error) {
+	if len(pts) <= t.leafCap {
+		return t.writeLeaf(pts)
+	}
+	r := (len(pts) + t.leafCap - 1) / t.leafCap
+	if r > t.fanout {
+		r = t.fanout
+	}
+	if r < 2 {
+		r = 2
+	}
+	cells := ndPartition(t.dims, pts, r)
+	if len(cells) == 1 {
+		cells = nil
+		for i := 0; i < len(pts); i += t.leafCap {
+			j := i + t.leafCap
+			if j > len(pts) {
+				j = len(pts)
+			}
+			cells = append(cells, pts[i:j])
+		}
+	}
+	p, err := t.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	d := p.Data
+	d[0] = ndTypeInternal
+	off := ndHeader
+	count := 0
+	entrySize := 8*t.dims + 4
+	for _, c := range cells {
+		child, err := t.buildStatic(c)
+		if err != nil {
+			return 0, err
+		}
+		b := ndBound(t.dims, c)
+		for k := 0; k < t.dims; k++ {
+			putf32nd(d[off+4*k:], b.Lo[k])
+			putf32nd(d[off+4*t.dims+4*k:], b.Hi[k])
+		}
+		put32nd(d[off+8*t.dims:], uint32(child))
+		off += entrySize
+		count++
+	}
+	put16nd(d[2:], count)
+	if err := t.store.Write(p); err != nil {
+		return 0, err
+	}
+	return p.ID, nil
+}
+
+func (t *NDTree) writeLeaf(pts []NDPoint) (pager.PageID, error) {
+	p, err := t.store.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	d := p.Data
+	d[0] = ndTypeLeaf
+	put16nd(d[2:], len(pts))
+	off := ndHeader
+	for _, q := range pts {
+		for k := 0; k < t.dims; k++ {
+			putf32nd(d[off+4*k:], q.Coords[k])
+		}
+		put32nd(d[off+4*t.dims:], uint32(q.Val))
+		off += 4*t.dims + 4
+	}
+	if err := t.store.Write(p); err != nil {
+		return 0, err
+	}
+	return p.ID, nil
+}
+
+type ndCell struct {
+	box   kdnd.Box
+	child pager.PageID
+}
+
+func (t *NDTree) readNode(id pager.PageID) ([]NDPoint, []ndCell, error) {
+	p, err := t.store.Read(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := p.Data
+	count := get16nd(d[2:])
+	switch d[0] {
+	case ndTypeLeaf:
+		pts := make([]NDPoint, count)
+		off := ndHeader
+		for i := 0; i < count; i++ {
+			coords := make([]float64, t.dims)
+			for k := range coords {
+				coords[k] = getf32nd(d[off+4*k:])
+			}
+			pts[i] = NDPoint{Coords: coords, Val: uint64(get32nd(d[off+4*t.dims:]))}
+			off += 4*t.dims + 4
+		}
+		return pts, nil, nil
+	case ndTypeInternal:
+		cells := make([]ndCell, count)
+		off := ndHeader
+		for i := 0; i < count; i++ {
+			box := kdnd.Box{Lo: make([]float64, t.dims), Hi: make([]float64, t.dims)}
+			for k := 0; k < t.dims; k++ {
+				box.Lo[k] = getf32nd(d[off+4*k:])
+				box.Hi[k] = getf32nd(d[off+4*t.dims+4*k:])
+			}
+			cells[i] = ndCell{box: box, child: pager.PageID(get32nd(d[off+8*t.dims:]))}
+			off += 8*t.dims + 4
+		}
+		return nil, cells, nil
+	default:
+		return nil, nil, fmt.Errorf("parttree: page %d has unknown type %d", id, d[0])
+	}
+}
+
+func (t *NDTree) freeSubtree(id pager.PageID) error {
+	_, cells, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := t.freeSubtree(c.child); err != nil {
+			return err
+		}
+	}
+	return t.store.Free(id)
+}
+
+func (t *NDTree) collect(id pager.PageID, out *[]NDPoint) error {
+	pts, cells, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	*out = append(*out, pts...)
+	for _, c := range cells {
+		if err := t.collect(c.child, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkLoad replaces the contents with pts in one static block.
+func (t *NDTree) BulkLoad(pts []NDPoint) error {
+	for _, p := range pts {
+		if len(p.Coords) != t.dims {
+			return fmt.Errorf("parttree: point has %d coords, tree has %d dims", len(p.Coords), t.dims)
+		}
+		if p.Val > math.MaxUint32 {
+			return fmt.Errorf("parttree: value %d does not fit in the 32-bit page slot", p.Val)
+		}
+	}
+	for _, b := range t.blocks {
+		if err := t.freeSubtree(b.root); err != nil {
+			return err
+		}
+	}
+	t.blocks = nil
+	t.size = 0
+	t.dead = 0
+	if len(pts) == 0 {
+		return nil
+	}
+	rounded := make([]NDPoint, len(pts))
+	for i, p := range pts {
+		rounded[i] = ndRound(p)
+	}
+	root, err := t.buildStatic(rounded)
+	if err != nil {
+		return err
+	}
+	t.blocks = []*ndBlock{{root: root, size: len(rounded)}}
+	t.size = len(rounded)
+	return nil
+}
+
+// Insert adds a point (logarithmic-method block merge).
+func (t *NDTree) Insert(p NDPoint) error {
+	if len(p.Coords) != t.dims {
+		return fmt.Errorf("parttree: point has %d coords, tree has %d dims", len(p.Coords), t.dims)
+	}
+	if p.Val > math.MaxUint32 {
+		return fmt.Errorf("parttree: value %d does not fit in the 32-bit page slot", p.Val)
+	}
+	p = ndRound(p)
+	sort.Slice(t.blocks, func(a, b int) bool { return t.blocks[a].size < t.blocks[b].size })
+	total := 1
+	prefix := 0
+	for prefix < len(t.blocks) && t.blocks[prefix].size <= total {
+		total += t.blocks[prefix].size
+		prefix++
+	}
+	pts := []NDPoint{p}
+	for i := 0; i < prefix; i++ {
+		if err := t.collect(t.blocks[i].root, &pts); err != nil {
+			return err
+		}
+		if err := t.freeSubtree(t.blocks[i].root); err != nil {
+			return err
+		}
+	}
+	root, err := t.buildStatic(pts)
+	if err != nil {
+		return err
+	}
+	t.blocks = append(t.blocks[prefix:], &ndBlock{root: root, size: len(pts)})
+	t.size++
+	return nil
+}
+
+// Delete removes one matching point (weak delete + half-dead rebuild).
+func (t *NDTree) Delete(p NDPoint) (bool, error) {
+	if len(p.Coords) != t.dims {
+		return false, fmt.Errorf("parttree: point has %d coords, tree has %d dims", len(p.Coords), t.dims)
+	}
+	p = ndRound(p)
+	for _, b := range t.blocks {
+		found, err := t.deleteFrom(b.root, p)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			b.size--
+			t.size--
+			t.dead++
+			if t.dead > t.size {
+				if err := t.rebuildAll(); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func ndSame(a, b NDPoint) bool {
+	if a.Val != b.Val {
+		return false
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *NDTree) deleteFrom(id pager.PageID, p NDPoint) (bool, error) {
+	pts, cells, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if cells == nil {
+		for i, q := range pts {
+			if ndSame(q, p) {
+				pts = append(pts[:i], pts[i+1:]...)
+				if _, err := t.rewriteLeaf(id, pts); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for _, c := range cells {
+		if !c.box.Contains(p.Coords) {
+			continue
+		}
+		found, err := t.deleteFrom(c.child, p)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
+func (t *NDTree) rewriteLeaf(id pager.PageID, pts []NDPoint) (pager.PageID, error) {
+	pg := &pager.Page{ID: id, Data: make([]byte, t.store.PageSize())}
+	d := pg.Data
+	d[0] = ndTypeLeaf
+	put16nd(d[2:], len(pts))
+	off := ndHeader
+	for _, q := range pts {
+		for k := 0; k < t.dims; k++ {
+			putf32nd(d[off+4*k:], q.Coords[k])
+		}
+		put32nd(d[off+4*t.dims:], uint32(q.Val))
+		off += 4*t.dims + 4
+	}
+	return id, t.store.Write(pg)
+}
+
+func (t *NDTree) rebuildAll() error {
+	var pts []NDPoint
+	for _, b := range t.blocks {
+		if err := t.collect(b.root, &pts); err != nil {
+			return err
+		}
+		if err := t.freeSubtree(b.root); err != nil {
+			return err
+		}
+	}
+	t.blocks = nil
+	t.dead = 0
+	if len(pts) == 0 {
+		return nil
+	}
+	root, err := t.buildStatic(pts)
+	if err != nil {
+		return err
+	}
+	t.blocks = []*ndBlock{{root: root, size: len(pts)}}
+	return nil
+}
+
+// Destroy frees every page.
+func (t *NDTree) Destroy() error {
+	for _, b := range t.blocks {
+		if err := t.freeSubtree(b.root); err != nil {
+			return err
+		}
+	}
+	t.blocks = nil
+	t.size = 0
+	t.dead = 0
+	return nil
+}
+
+// ndClassify classifies a box against a constraint conjunction.
+func ndClassify(b kdnd.Box, cs []kdnd.Constraint) int {
+	rel := 1 // inside
+	for _, c := range cs {
+		lo, hi := ndExtremes(b, c)
+		if lo > c.C+1e-9 {
+			return 0 // outside
+		}
+		if hi > c.C+1e-9 {
+			rel = 2 // partial
+		}
+	}
+	return rel
+}
+
+func ndExtremes(b kdnd.Box, c kdnd.Constraint) (lo, hi float64) {
+	for i, a := range c.Coef {
+		if a >= 0 {
+			lo += a * b.Lo[i]
+			hi += a * b.Hi[i]
+		} else {
+			lo += a * b.Hi[i]
+			hi += a * b.Lo[i]
+		}
+	}
+	return lo, hi
+}
+
+func ndSatisfies(coords []float64, cs []kdnd.Constraint) bool {
+	for _, c := range cs {
+		s := 0.0
+		for i, a := range c.Coef {
+			s += a * coords[i]
+		}
+		if s > c.C+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchConstraints reports every live point satisfying all constraints
+// (the d-dimensional simplex range query).
+func (t *NDTree) SearchConstraints(cs []kdnd.Constraint, fn func(NDPoint) bool) error {
+	for _, c := range cs {
+		if len(c.Coef) != t.dims {
+			return fmt.Errorf("parttree: constraint has %d coefficients, tree has %d dims", len(c.Coef), t.dims)
+		}
+	}
+	for _, b := range t.blocks {
+		cont, err := t.searchNode(b.root, cs, fn)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *NDTree) searchNode(id pager.PageID, cs []kdnd.Constraint, fn func(NDPoint) bool) (bool, error) {
+	pts, cells, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if cells == nil {
+		for _, p := range pts {
+			if ndSatisfies(p.Coords, cs) {
+				if !fn(p) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	for _, c := range cells {
+		switch ndClassify(c.box, cs) {
+		case 0:
+		case 1:
+			cont, err := t.reportAll(c.child, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		default:
+			cont, err := t.searchNode(c.child, cs, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+func (t *NDTree) reportAll(id pager.PageID, fn func(NDPoint) bool) (bool, error) {
+	pts, cells, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range pts {
+		if !fn(p) {
+			return false, nil
+		}
+	}
+	for _, c := range cells {
+		cont, err := t.reportAll(c.child, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,162 @@
+package parttree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/kdnd"
+	"mobidx/internal/pager"
+)
+
+func rand4(rng *rand.Rand, val uint64) NDPoint {
+	return NDPoint{
+		Coords: []float64{
+			rng.Float64() * 1000, rng.Float64() * 1000,
+			rng.Float64() * 1000, rng.Float64() * 1000,
+		},
+		Val: val,
+	}
+}
+
+func TestNDValidation(t *testing.T) {
+	st := pager.NewMemStore(512)
+	if _, err := NewND(st, 0); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	tr, err := NewND(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(NDPoint{Coords: []float64{1, 2}, Val: 1}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestNDRandomOpsAgainstBruteForce(t *testing.T) {
+	st := pager.NewMemStore(512)
+	tr, err := NewND(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(131))
+	var ref []NDPoint
+	next := uint64(0)
+	for op := 0; op < 3000; op++ {
+		if len(ref) == 0 || rng.Float64() < 0.62 {
+			p := rand4(rng, next)
+			next++
+			if err := tr.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, ndRound(p))
+		} else {
+			i := rng.Intn(len(ref))
+			found, err := tr.Delete(ref[i])
+			if err != nil || !found {
+				t.Fatalf("op %d: delete found=%v err=%v", op, found, err)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(ref))
+	}
+	for trial := 0; trial < 30; trial++ {
+		cs := make([]kdnd.Constraint, 3)
+		for i := range cs {
+			cs[i] = kdnd.Constraint{
+				Coef: []float64{
+					rng.Float64()*2 - 1, rng.Float64()*2 - 1,
+					rng.Float64()*2 - 1, rng.Float64()*2 - 1,
+				},
+				C: rng.Float64() * 2000,
+			}
+		}
+		want := map[uint64]bool{}
+		for _, p := range ref {
+			if ndSatisfies(p.Coords, cs) {
+				want[p.Val] = true
+			}
+		}
+		got := map[uint64]bool{}
+		if err := tr.SearchConstraints(cs, func(p NDPoint) bool { got[p.Val] = true; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestNDBulkLoadAndDestroy(t *testing.T) {
+	st := pager.NewMemStore(4096)
+	tr, err := NewND(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(137))
+	pts := make([]NDPoint, 30000)
+	for i := range pts {
+		pts[i] = rand4(rng, uint64(i))
+	}
+	if err := tr.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 30000 || tr.Blocks() != 1 {
+		t.Fatalf("Len=%d blocks=%d", tr.Len(), tr.Blocks())
+	}
+	count := 0
+	if err := tr.SearchConstraints(nil, func(NDPoint) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 30000 {
+		t.Fatalf("full scan found %d", count)
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesInUse() != 0 {
+		t.Fatalf("%d pages leaked", st.PagesInUse())
+	}
+}
+
+// The 4-dimensional simplex query cost must scale well below linear:
+// O(n^(3/4+ε)) predicts ~8.5x for 16x the points; allow up to 12x and
+// reject the linear 16x.
+func TestNDQuerySublinear(t *testing.T) {
+	measure := func(n int) float64 {
+		st := pager.NewMemStore(4096)
+		tr, _ := NewND(st, 4)
+		rng := rand.New(rand.NewSource(139))
+		pts := make([]NDPoint, n)
+		for i := range pts {
+			pts[i] = rand4(rng, uint64(i))
+		}
+		if err := tr.BulkLoad(pts); err != nil {
+			t.Fatal(err)
+		}
+		// A thin slab in a diagonal 4-dimensional direction.
+		total := int64(0)
+		const reps = 8
+		for r := 0; r < reps; r++ {
+			c := 1000 + rng.Float64()*2000
+			cs := []kdnd.Constraint{
+				{Coef: []float64{1, 1, 1, 1}, C: c + 1},
+				{Coef: []float64{-1, -1, -1, -1}, C: -(c - 1)},
+			}
+			before := st.Stats()
+			_ = tr.SearchConstraints(cs, func(NDPoint) bool { return true })
+			total += st.Stats().Sub(before).Reads
+		}
+		return float64(total) / reps
+	}
+	small := measure(20000)
+	big := measure(320000)
+	if big > small*12 {
+		t.Fatalf("4D query grew %.1fx for 16x data (want ~8.5x, linear=16x)", big/small)
+	}
+	if math.IsNaN(big) || big <= 0 {
+		t.Fatal("no I/O measured")
+	}
+}

@@ -1,0 +1,259 @@
+package parttree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/pager"
+)
+
+func newTree(t *testing.T, pageSize int) (*Tree, *pager.MemStore) {
+	t.Helper()
+	st := pager.NewMemStore(pageSize)
+	tr, err := New(st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, st
+}
+
+func halfPlane(a, b, c float64) geom.ConvexRegion {
+	return geom.NewRegion(geom.Constraint{A: a, B: b, C: c})
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(Point{X: float64(i % 20), Y: float64(i / 20), Val: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Half-plane x + y <= 5.
+	got := map[uint64]bool{}
+	_ = tr.SearchRegion(halfPlane(1, 1, 5), func(p Point) bool { got[p.Val] = true; return true })
+	want := 0
+	for i := 0; i < 300; i++ {
+		if float64(i%20)+float64(i/20) <= 5 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("got %d want %d", len(got), want)
+	}
+}
+
+func TestRandomOpsAgainstBruteForce(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	rng := rand.New(rand.NewSource(51))
+	var ref []Point
+	nextVal := uint64(0)
+	for op := 0; op < 4000; op++ {
+		switch {
+		case len(ref) == 0 || rng.Float64() < 0.6:
+			p := Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: nextVal}
+			nextVal++
+			if err := tr.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, roundPoint(p))
+		default:
+			i := rng.Intn(len(ref))
+			found, err := tr.Delete(ref[i])
+			if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if !found {
+				t.Fatalf("op %d: delete missed %+v", op, ref[i])
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(ref))
+	}
+	for trial := 0; trial < 50; trial++ {
+		reg := geom.NewRegion(
+			geom.Constraint{A: rng.Float64()*2 - 1, B: rng.Float64()*2 - 1, C: rng.Float64() * 1000},
+			geom.Constraint{A: rng.Float64()*2 - 1, B: rng.Float64()*2 - 1, C: rng.Float64() * 1000},
+		)
+		want := map[uint64]bool{}
+		for _, p := range ref {
+			if reg.ContainsPoint(geom.Point{X: p.X, Y: p.Y}) {
+				want[p.Val] = true
+			}
+		}
+		got := map[uint64]bool{}
+		_ = tr.SearchRegion(reg, func(p Point) bool { got[p.Val] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for v := range want {
+			if !got[v] {
+				t.Fatalf("missing %d", v)
+			}
+		}
+	}
+}
+
+func TestBlocksLogarithmic(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	for i := 0; i < 5000; i++ {
+		_ = tr.Insert(Point{X: rand.Float64(), Y: rand.Float64(), Val: uint64(i)})
+	}
+	// log2(5000) ≈ 12.3; the logarithmic method keeps one block per
+	// occupied size class.
+	if tr.Blocks() > 14 {
+		t.Fatalf("%d blocks for 5000 points", tr.Blocks())
+	}
+}
+
+func TestDeleteTriggersRebuild(t *testing.T) {
+	tr, st := newTree(t, 512)
+	rng := rand.New(rand.NewSource(53))
+	var ref []Point
+	for i := 0; i < 2000; i++ {
+		p := Point{X: rng.Float64() * 100, Y: rng.Float64() * 100, Val: uint64(i)}
+		_ = tr.Insert(p)
+		ref = append(ref, roundPoint(p))
+	}
+	full := st.PagesInUse()
+	for i := 0; i < 1900; i++ {
+		found, err := tr.Delete(ref[i])
+		if err != nil || !found {
+			t.Fatalf("delete %d: %v %v", i, found, err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// The half-dead rebuild must have reclaimed most of the space.
+	if st.PagesInUse() > full/4 {
+		t.Fatalf("pages %d of %d after 95%% deletion", st.PagesInUse(), full)
+	}
+	// Remaining points still searchable.
+	got := 0
+	_ = tr.SearchRegion(halfPlane(0, 0, 1), func(Point) bool { got++; return true }) // 0 <= 1: all
+	if got != 100 {
+		t.Fatalf("found %d of 100 after rebuild", got)
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	_ = tr.Insert(Point{X: 1, Y: 1, Val: 1})
+	found, err := tr.Delete(Point{X: 2, Y: 2, Val: 1})
+	if err != nil || found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr, _ := newTree(t, 256)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(Point{X: 3, Y: 3, Val: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	_ = tr.SearchRegion(halfPlane(1, 0, 3), func(Point) bool { got++; return true })
+	if got != 500 {
+		t.Fatalf("found %d duplicates", got)
+	}
+	for i := 0; i < 500; i++ {
+		found, err := tr.Delete(Point{X: 3, Y: 3, Val: uint64(i)})
+		if err != nil || !found {
+			t.Fatalf("delete dup %d: %v %v", i, found, err)
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr, _ := newTree(t, 512)
+	for i := 0; i < 400; i++ {
+		_ = tr.Insert(Point{X: float64(i), Y: 0, Val: uint64(i)})
+	}
+	n := 0
+	_ = tr.SearchRegion(halfPlane(0, 0, 1), func(Point) bool { n++; return n < 6 })
+	if n != 6 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// The crossing number of the root partition must be ~O(√r): the property
+// the whole query bound rests on (Matousek's lemma, checked empirically).
+func TestCrossingNumberSqrt(t *testing.T) {
+	st := pager.NewMemStore(4096)
+	tr, err := New(st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(59))
+	pts := make([]Point, 200000)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: uint64(i)}
+	}
+	if err := tr.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	var cells int
+	for trial := 0; trial < 60; trial++ {
+		// Random line through the data.
+		theta := rng.Float64() * math.Pi
+		a, b := math.Cos(theta), math.Sin(theta)
+		c := a*rng.Float64()*1000 + b*rng.Float64()*1000
+		crossed, n, err := tr.MaxLineCrossings(geom.Constraint{A: a, B: b, C: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = n
+		if crossed > worst {
+			worst = crossed
+		}
+	}
+	limit := int(4*math.Sqrt(float64(cells))) + 2
+	if worst > limit {
+		t.Fatalf("worst crossing %d of %d cells exceeds ~4√r = %d", worst, cells, limit)
+	}
+}
+
+// Simplex query I/O must scale ~√n: measure at two sizes and check the
+// growth is far below linear.
+func TestQueryIOSublinear(t *testing.T) {
+	measure := func(n int) float64 {
+		st := pager.NewMemStore(4096)
+		tr, _ := New(st, Config{})
+		rng := rand.New(rand.NewSource(61))
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Val: uint64(i)}
+		}
+		if err := tr.BulkLoad(pts); err != nil {
+			t.Fatal(err)
+		}
+		// Thin wedge with small output: stresses boundary crossing cost.
+		reg := geom.NewRegion(
+			geom.Constraint{A: 1, B: 1, C: 1000.5},
+			geom.Constraint{A: -1, B: -1, C: -999.5},
+		)
+		total := int64(0)
+		const reps = 5
+		for r := 0; r < reps; r++ {
+			before := st.Stats()
+			_ = tr.SearchRegion(reg, func(Point) bool { return true })
+			total += st.Stats().Sub(before).Reads
+		}
+		return float64(total) / reps
+	}
+	small := measure(20000)
+	big := measure(320000) // 16x the points
+	// √16 = 4; allow generous slack but reject linear growth (16x).
+	if big > small*9 {
+		t.Fatalf("query I/O grew %vx for 16x data (want ~4x)", big/small)
+	}
+}

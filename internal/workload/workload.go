@@ -1,0 +1,206 @@
+// Package workload generates the experimental scenario of §5 of the paper:
+//
+//	"At time t=0 we generated the initial locations of N mobile objects
+//	uniformly distributed on the terrain [0,1000]. ... The speeds were
+//	generated uniformly from vmin = 0.16 to vmax = 1.66 and the direction
+//	randomly positive or negative. Then objects start moving. When an
+//	object reaches a border simply it changes its direction. At each time
+//	instant we choose 200 objects randomly and we randomly change their
+//	speed and/or direction. ... At each such time instant we execute 200
+//	random queries, where the length of the y-range is chosen uniformly
+//	between 0 and YQMAX and the length of the time range between 0 and TW."
+//
+// Two query mixes are defined: large queries (YQMAX=150, TW=60, average
+// cardinality ≈ 10%) and small ones (YQMAX=10, TW=20, ≈ 1%). The scenario
+// runs for 2000 time instants. All randomness flows from an explicit seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mobidx/internal/dual"
+)
+
+// Params describes a §5 scenario.
+type Params struct {
+	N              int   // number of mobile objects
+	Seed           int64 // RNG seed
+	Terrain        dual.Terrain
+	UpdatesPerTick int // random motion changes per time instant (paper: 200)
+	Ticks          int // scenario length in time instants (paper: 2000)
+}
+
+// DefaultParams returns the paper's parameters for the given N.
+func DefaultParams(n int) Params {
+	return Params{
+		N:              n,
+		Seed:           1999, // the year of PODS '99
+		Terrain:        dual.Terrain{YMax: 1000, VMin: 0.16, VMax: 1.66},
+		UpdatesPerTick: 200,
+		Ticks:          2000,
+	}
+}
+
+// QueryMix describes one of the paper's two query sets.
+type QueryMix struct {
+	Name    string
+	YQMax   float64 // max spatial extent
+	TW      float64 // max time-window length
+	PerSlot int     // queries per query instant (paper: 200)
+}
+
+// LargeQueries is the ≈10%-selectivity mix of Figure 6.
+func LargeQueries() QueryMix { return QueryMix{Name: "10%", YQMax: 150, TW: 60, PerSlot: 200} }
+
+// SmallQueries is the ≈1%-selectivity mix of Figure 7.
+func SmallQueries() QueryMix { return QueryMix{Name: "1%", YQMax: 10, TW: 20, PerSlot: 200} }
+
+// Op is one index operation produced by the simulator. An update is always
+// a Delete of the old motion followed by an Insert of the new one (§3).
+type Op struct {
+	Insert bool
+	Motion dual.Motion
+}
+
+// Simulator drives the scenario, reporting every index operation through a
+// callback so any access method can be measured against it.
+type Simulator struct {
+	params Params
+	rng    *rand.Rand
+	now    float64
+	cur    []dual.Motion // by OID
+}
+
+// NewSimulator creates a simulator; call Bootstrap before Tick.
+func NewSimulator(p Params) (*Simulator, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", p.N)
+	}
+	if p.Terrain.YMax <= 0 || p.Terrain.VMin <= 0 || p.Terrain.VMax < p.Terrain.VMin {
+		return nil, fmt.Errorf("workload: invalid terrain %+v", p.Terrain)
+	}
+	return &Simulator{params: p, rng: rand.New(rand.NewSource(p.Seed))}, nil
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Params returns the scenario parameters.
+func (s *Simulator) Params() Params { return s.params }
+
+// Motions returns the current motion of every object (indexed by OID).
+func (s *Simulator) Motions() []dual.Motion { return s.cur }
+
+func (s *Simulator) randV() float64 {
+	tr := s.params.Terrain
+	v := tr.VMin + s.rng.Float64()*(tr.VMax-tr.VMin)
+	if s.rng.Intn(2) == 0 {
+		v = -v
+	}
+	return v
+}
+
+// Bootstrap creates the N initial objects at time 0, reporting one Insert
+// per object.
+func (s *Simulator) Bootstrap(apply func(Op) error) error {
+	s.cur = make([]dual.Motion, s.params.N)
+	for i := range s.cur {
+		m := dual.Motion{
+			OID: dual.OID(i),
+			Y0:  s.rng.Float64() * s.params.Terrain.YMax,
+			T0:  0,
+			V:   s.randV(),
+		}
+		s.cur[i] = m
+		if err := apply(Op{Insert: true, Motion: m}); err != nil {
+			return fmt.Errorf("workload: bootstrap insert %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// borderCross returns when m reaches a terrain border.
+func (s *Simulator) borderCross(m dual.Motion) float64 {
+	if m.V > 0 {
+		return m.T0 + (s.params.Terrain.YMax-m.Y0)/m.V
+	}
+	return m.T0 + (0-m.Y0)/m.V
+}
+
+// update replaces object id's motion with nm, reporting both operations.
+func (s *Simulator) update(id dual.OID, nm dual.Motion, apply func(Op) error) error {
+	if err := apply(Op{Insert: false, Motion: s.cur[id]}); err != nil {
+		return fmt.Errorf("workload: delete for object %d: %w", id, err)
+	}
+	if err := apply(Op{Insert: true, Motion: nm}); err != nil {
+		return fmt.Errorf("workload: insert for object %d: %w", id, err)
+	}
+	s.cur[id] = nm
+	return nil
+}
+
+// Tick advances time by one instant: objects that reached a border reflect
+// (an update at the exact crossing time), then UpdatesPerTick random
+// objects change speed and/or direction.
+func (s *Simulator) Tick(apply func(Op) error) error {
+	s.now++
+	for id := range s.cur {
+		m := s.cur[id]
+		tc := s.borderCross(m)
+		if tc > s.now {
+			continue
+		}
+		border := 0.0
+		if m.V > 0 {
+			border = s.params.Terrain.YMax
+		}
+		nm := dual.Motion{OID: m.OID, Y0: border, T0: tc, V: -m.V}
+		if err := s.update(m.OID, nm, apply); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < s.params.UpdatesPerTick; k++ {
+		id := dual.OID(s.rng.Intn(s.params.N))
+		old := s.cur[id]
+		y := old.At(s.now)
+		if y < 0 {
+			y = 0
+		}
+		if y > s.params.Terrain.YMax {
+			y = s.params.Terrain.YMax
+		}
+		nm := dual.Motion{OID: id, Y0: y, T0: s.now, V: s.randV()}
+		if err := s.update(id, nm, apply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Queries draws a batch of random MOR queries at the current time per the
+// given mix.
+func (s *Simulator) Queries(mix QueryMix) []dual.MORQuery {
+	out := make([]dual.MORQuery, mix.PerSlot)
+	tr := s.params.Terrain
+	for i := range out {
+		w := s.rng.Float64() * mix.YQMax
+		y1 := s.rng.Float64() * (tr.YMax - w)
+		tw := s.rng.Float64() * mix.TW
+		t1 := s.now
+		out[i] = dual.MORQuery{Y1: y1, Y2: y1 + w, T1: t1, T2: t1 + tw}
+	}
+	return out
+}
+
+// BruteForce answers q against the simulator's own state — the ground
+// truth for verification and selectivity measurement.
+func (s *Simulator) BruteForce(q dual.MORQuery) []dual.OID {
+	var out []dual.OID
+	for _, m := range s.cur {
+		if m.Matches(q) {
+			out = append(out, m.OID)
+		}
+	}
+	return out
+}

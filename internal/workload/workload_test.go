@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mobidx/internal/dual"
+)
+
+func TestSimulatorDeterminism(t *testing.T) {
+	run := func() []dual.Motion {
+		p := DefaultParams(500)
+		p.Ticks = 20
+		s, err := NewSimulator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bootstrap(func(Op) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := s.Tick(func(Op) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]dual.Motion(nil), s.Motions()...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("motion %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpsAreConsistentPairs(t *testing.T) {
+	p := DefaultParams(300)
+	p.UpdatesPerTick = 50
+	s, _ := NewSimulator(p)
+	live := map[dual.OID]dual.Motion{}
+	apply := func(op Op) error {
+		if op.Insert {
+			if _, dup := live[op.Motion.OID]; dup {
+				t.Fatalf("double insert for %d", op.Motion.OID)
+			}
+			live[op.Motion.OID] = op.Motion
+		} else {
+			cur, ok := live[op.Motion.OID]
+			if !ok {
+				t.Fatalf("delete of absent object %d", op.Motion.OID)
+			}
+			if cur != op.Motion {
+				t.Fatalf("delete motion mismatch for %d", op.Motion.OID)
+			}
+			delete(live, op.Motion.OID)
+		}
+		return nil
+	}
+	if err := s.Bootstrap(apply); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Tick(apply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(live) != 300 {
+		t.Fatalf("live = %d", len(live))
+	}
+	// Live set must mirror the simulator state.
+	for _, m := range s.Motions() {
+		if live[m.OID] != m {
+			t.Fatalf("state divergence for %d", m.OID)
+		}
+	}
+}
+
+func TestMotionsStayInBand(t *testing.T) {
+	p := DefaultParams(400)
+	s, _ := NewSimulator(p)
+	check := func(op Op) error {
+		if !op.Insert {
+			return nil
+		}
+		m := op.Motion
+		sp := math.Abs(m.V)
+		if sp < p.Terrain.VMin-1e-12 || sp > p.Terrain.VMax+1e-12 {
+			t.Fatalf("speed %v out of band", m.V)
+		}
+		if m.Y0 < -1e-9 || m.Y0 > p.Terrain.YMax+1e-9 {
+			t.Fatalf("position %v out of terrain", m.Y0)
+		}
+		return nil
+	}
+	if err := s.Bootstrap(check); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Tick(check); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After many ticks every object's *current position* must be inside
+	// the terrain (reflection keeps it there).
+	for _, m := range s.Motions() {
+		y := m.At(s.Now())
+		if y < -1e-6 || y > p.Terrain.YMax+1e-6 {
+			t.Fatalf("object %d drifted to %v", m.OID, y)
+		}
+	}
+}
+
+// The two query mixes must hit their advertised selectivities (±
+// generous slack): ~10% and ~1%.
+func TestQueryMixSelectivity(t *testing.T) {
+	p := DefaultParams(20000)
+	s, _ := NewSimulator(p)
+	_ = s.Bootstrap(func(Op) error { return nil })
+	for i := 0; i < 10; i++ {
+		_ = s.Tick(func(Op) error { return nil })
+	}
+	measure := func(mix QueryMix) float64 {
+		total := 0
+		qs := s.Queries(mix)
+		for _, q := range qs {
+			total += len(s.BruteForce(q))
+		}
+		return float64(total) / float64(len(qs)) / float64(p.N)
+	}
+	large := measure(LargeQueries())
+	small := measure(SmallQueries())
+	if large < 0.04 || large > 0.20 {
+		t.Fatalf("large-mix selectivity %.3f, want ≈0.10", large)
+	}
+	if small < 0.002 || small > 0.03 {
+		t.Fatalf("small-mix selectivity %.4f, want ≈0.01", small)
+	}
+	if large < 3*small {
+		t.Fatalf("mix separation lost: %.3f vs %.4f", large, small)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewSimulator(Params{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	p := DefaultParams(10)
+	p.Terrain.VMin = 0
+	if _, err := NewSimulator(p); err == nil {
+		t.Fatal("vmin=0 accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package mobidx indexes mobile objects — points moving on a line or in
+// the plane with piecewise-constant velocity — and answers MOR (Moving
+// Objects Range) queries about the future: "report every object inside
+// spatial range R at some instant in [t1, t2], given current motion
+// information". It is a from-scratch implementation of Kollios, Gunopulos
+// and Tsotras, "On Indexing Mobile Objects" (PODS 1999).
+//
+// Everything runs on an explicit external-memory model: indexes read and
+// write fixed-size pages through a Store, and performance is measured in
+// counted page I/Os, the metric of the paper's evaluation.
+//
+// # One-dimensional indexes
+//
+// Four interchangeable implementations of Index1D:
+//
+//   - NewDualBPlusIndex — the paper's practical contribution (§3.5.2):
+//     Hough-Y dual points in c observation B+-trees plus subterrain
+//     interval indexes; expected-logarithmic queries, linear space.
+//   - NewKDIndex — Hough-X dual points in a paged k-d tree point access
+//     method (§3.5.1), answering the Proposition 1 wedge query.
+//   - NewPartitionTreeIndex — the (almost) worst-case-optimal simplex
+//     range searching structure (§3.4): O(n^(1/2+ε) + k) I/Os.
+//   - NewRStarIndex — the traditional baseline (§3.1): trajectory line
+//     segments in an R*-tree.
+//
+// An object's change of motion is always Delete(old) followed by
+// Insert(new), exactly as in the paper's update model.
+//
+// # Bounded-horizon instant queries
+//
+// kinetic.Structure (via NewKineticStructure / NewStaggeredKinetic)
+// answers single-instant MOR1 queries within a bounded future window in
+// O(log_B(n+m)) I/Os (§3.6, Theorem 2), where m counts object overtakes.
+//
+// # Two dimensions
+//
+// New2DKDIndex and New2DDecomposedIndex implement §4.2 (free movement in
+// the plane, via the 4-dimensional dual); NewRouteNetwork implements §4.1
+// (movement restricted to a network of routes — the "1.5-dimensional"
+// problem).
+//
+// # Quick start
+//
+//	store := mobidx.NewMemStore(4096)
+//	idx, _ := mobidx.NewDualBPlusIndex(store, mobidx.DualBPlusConfig{
+//		Terrain: mobidx.Terrain{YMax: 1000, VMin: 0.16, VMax: 1.66},
+//		C:       4,
+//	})
+//	_ = idx.Insert(mobidx.Motion{OID: 1, Y0: 250, T0: 0, V: 1.2})
+//	_ = idx.Query(mobidx.Query{Y1: 300, Y2: 400, T1: 50, T2: 80},
+//		func(id mobidx.OID) { fmt.Println("will be there:", id) })
+package mobidx
+
+import (
+	"mobidx/internal/bptree"
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/geom"
+	"mobidx/internal/kinetic"
+	"mobidx/internal/pager"
+	"mobidx/internal/route"
+	"mobidx/internal/twod"
+)
+
+// Core model types.
+type (
+	// OID identifies a mobile object.
+	OID = dual.OID
+	// Motion is one object's linear motion on a line: position Y0 at time
+	// T0, velocity V.
+	Motion = dual.Motion
+	// Query is the one-dimensional MOR query: inside [Y1, Y2] at some
+	// instant of [T1, T2].
+	Query = dual.MORQuery
+	// Terrain bounds the one-dimensional world and its speed band.
+	Terrain = dual.Terrain
+	// Index1D is the common interface of the one-dimensional indexes.
+	Index1D = core.Index1D
+)
+
+// Storage types: all indexes speak to pages through a Store.
+type (
+	// Store is the external-memory page store abstraction.
+	Store = pager.Store
+	// Stats counts a store's I/O traffic.
+	Stats = pager.Stats
+	// PageID identifies a page.
+	PageID = pager.PageID
+)
+
+// NewMemStore returns an in-memory page store (I/Os are counted, not
+// performed) with the given page size; 0 selects 4096, the page size of
+// the paper's experiments.
+func NewMemStore(pageSize int) *pager.MemStore { return pager.NewMemStore(pageSize) }
+
+// NewFileStore returns a page store backed by a file at path.
+func NewFileStore(path string, pageSize int) (*pager.FileStore, error) {
+	return pager.NewFileStore(path, pageSize)
+}
+
+// NewBufferedStore wraps a store with a small LRU pool of the given
+// capacity (the paper buffers a root-to-leaf path, 3-4 pages).
+func NewBufferedStore(under Store, capacity int) *pager.Buffered {
+	return pager.NewBuffered(under, capacity)
+}
+
+// Record precision of the B+-tree based structures.
+const (
+	// WideRecords stores 8-byte keys (exact float64 round trips).
+	WideRecords = bptree.Wide
+	// CompactRecords stores 4-byte keys — the paper's 12-byte records,
+	// giving page capacity B=341 at 4096-byte pages.
+	CompactRecords = bptree.Compact
+)
+
+// One-dimensional index configurations.
+type (
+	// DualBPlusConfig configures the §3.5.2 approximation method.
+	DualBPlusConfig = core.DualBPlusConfig
+	// KDConfig configures the §3.5.1 k-d point access method.
+	KDConfig = core.KDDualConfig
+	// RStarConfig configures the §3.1 R*-tree baseline.
+	RStarConfig = core.RStarSegConfig
+	// PartitionTreeConfig configures the §3.4 partition tree.
+	PartitionTreeConfig = core.PartTreeDualConfig
+)
+
+// NewDualBPlusIndex creates the Dual-B+ approximation index (§3.5.2).
+func NewDualBPlusIndex(store Store, cfg DualBPlusConfig) (*core.DualBPlus, error) {
+	return core.NewDualBPlus(store, cfg)
+}
+
+// NewKDIndex creates the k-d dual index (§3.5.1).
+func NewKDIndex(store Store, cfg KDConfig) (*core.KDDual, error) {
+	return core.NewKDDual(store, cfg)
+}
+
+// NewRStarIndex creates the R*-tree trajectory-segment baseline (§3.1).
+func NewRStarIndex(store Store, cfg RStarConfig) (*core.RStarSeg, error) {
+	return core.NewRStarSeg(store, cfg)
+}
+
+// NewPartitionTreeIndex creates the partition-tree index (§3.4).
+func NewPartitionTreeIndex(store Store, cfg PartitionTreeConfig) (*core.PartTreeDual, error) {
+	return core.NewPartTreeDual(store, cfg)
+}
+
+// SpeedPartitionedConfig configures the slow/moving hybrid index.
+type SpeedPartitionedConfig = core.SpeedPartitionedConfig
+
+// NewSpeedPartitionedIndex wraps a moving-object index with the paper's §3
+// partitioning: objects slower than the cutoff (v ≈ 0) live in a plain
+// B+-tree over positions — for them the problem degenerates to standard
+// one-dimensional range searching — while moving objects go to the wrapped
+// index.
+func NewSpeedPartitionedIndex(store Store, cfg SpeedPartitionedConfig, moving Index1D) (*core.SpeedPartitioned, error) {
+	return core.NewSpeedPartitioned(store, cfg, moving)
+}
+
+// NewHistory creates an append-only trajectory archive answering
+// historical MOR queries ("who was inside R during the past window
+// [t1, t2]?") — the §7 extension. Record motion changes with Begin and
+// departures with End; query the past with QueryPast.
+func NewHistory(store Store, terrain Terrain) (*core.History, error) {
+	return core.NewHistory(store, terrain)
+}
+
+// Kinetic (bounded-horizon) structures of §3.6.
+type (
+	// KineticObject is an object snapshot for the kinetic structure.
+	KineticObject = kinetic.Object
+	// KineticStructure answers instant queries within a fixed window.
+	KineticStructure = kinetic.Structure
+	// StaggeredKinetic keeps a window of length T always covered.
+	StaggeredKinetic = kinetic.Staggered
+	// Crossing is one overtake event between two objects.
+	Crossing = kinetic.Crossing
+)
+
+// NewKineticStructure builds the §3.6 structure answering instant queries
+// for tStart ≤ t ≤ tStart+horizon against the given object snapshot.
+func NewKineticStructure(store Store, objs []KineticObject, tStart, horizon float64) (*KineticStructure, error) {
+	return kinetic.Build(store, objs, tStart, horizon)
+}
+
+// NewStaggeredKinetic creates the staggered wrapper that keeps any instant
+// within T of "now" covered by rebuilding every T.
+func NewStaggeredKinetic(store Store, T float64) (*StaggeredKinetic, error) {
+	return kinetic.NewStaggered(store, T)
+}
+
+// Crossings enumerates all overtakes among objs within (tStart,
+// tStart+horizon) — Lemma 3.
+func Crossings(objs []KineticObject, tStart, horizon float64) []Crossing {
+	return kinetic.Crossings(objs, tStart, horizon)
+}
+
+// Two-dimensional movement (§4.2).
+type (
+	// Motion2D is one object's linear motion in the plane.
+	Motion2D = twod.Motion2D
+	// Query2D is the two-dimensional MOR query.
+	Query2D = twod.MOR2Query
+	// Terrain2D bounds the plane and the per-axis speed band.
+	Terrain2D = twod.Terrain2D
+	// Index2D is the common interface of the two-dimensional indexes.
+	Index2D = twod.Index2D
+	// KD4Config configures the 4-dimensional dual k-d index.
+	KD4Config = twod.KD4Config
+	// DecomposedConfig configures the per-axis decomposition index.
+	DecomposedConfig = twod.DecomposedConfig
+	// PartTree4Config configures the 4-dimensional partition-tree index.
+	PartTree4Config = twod.PartTree4Config
+)
+
+// New2DKDIndex creates the 4-dimensional dual k-d index (§4.2).
+func New2DKDIndex(store Store, cfg KD4Config) (*twod.KD4, error) {
+	return twod.NewKD4(store, cfg)
+}
+
+// New2DDecomposedIndex creates the per-axis decomposition index (§4.2).
+func New2DDecomposedIndex(store Store, cfg DecomposedConfig) (*twod.Decomposed, error) {
+	return twod.NewDecomposed(store, cfg)
+}
+
+// New2DPartitionTreeIndex creates the 4-dimensional partition-tree index —
+// the §4.2 method with the almost-optimal O(n^(3/4+ε) + k) I/O bound.
+func New2DPartitionTreeIndex(store Store, cfg PartTree4Config) (*twod.PartTree4, error) {
+	return twod.NewPartTree4(store, cfg)
+}
+
+// Route networks: the 1.5-dimensional problem (§4.1).
+type (
+	// RouteID identifies a route.
+	RouteID = route.RouteID
+	// Route is a polyline route addressed by arc length.
+	Route = route.Route
+	// RouteNetworkConfig configures a network.
+	RouteNetworkConfig = route.Config
+	// RouteNetwork holds routes and their per-route 1D indexes.
+	RouteNetwork = route.Network
+	// RouteHit is one routed query result.
+	RouteHit = route.Hit
+)
+
+// NewRouteNetwork creates an empty route network.
+func NewRouteNetwork(store Store, cfg RouteNetworkConfig) (*RouteNetwork, error) {
+	return route.NewNetwork(store, cfg)
+}
+
+// Geometry helpers used by the 1.5-dimensional API.
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Rect is an axis-parallel rectangle.
+	Rect = geom.Rect
+)
+
+// Interface compliance.
+var (
+	_ Index1D = (*core.DualBPlus)(nil)
+	_ Index2D = (*twod.KD4)(nil)
+)

@@ -1,0 +1,243 @@
+package mobidx
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var testTerrain = Terrain{YMax: 1000, VMin: 0.16, VMax: 1.66}
+
+// collect runs a query and returns sorted ids.
+func collect(t *testing.T, ix Index1D, q Query) []OID {
+	t.Helper()
+	var out []OID
+	if err := ix.Query(q, func(id OID) { out = append(out, id) }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Every public 1D constructor must agree on the same small scenario.
+func TestPublicIndexesAgree(t *testing.T) {
+	mks := map[string]func() Index1D{
+		"dualbp": func() Index1D {
+			ix, err := NewDualBPlusIndex(NewMemStore(0), DualBPlusConfig{Terrain: testTerrain, C: 4, Codec: WideRecords})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		},
+		"kd": func() Index1D {
+			ix, err := NewKDIndex(NewMemStore(0), KDConfig{Terrain: testTerrain})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		},
+		"rstar": func() Index1D {
+			ix, err := NewRStarIndex(NewMemStore(0), RStarConfig{Terrain: testTerrain})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		},
+		"parttree": func() Index1D {
+			ix, err := NewPartitionTreeIndex(NewMemStore(0), PartitionTreeConfig{Terrain: testTerrain})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	var motions []Motion
+	for i := 0; i < 500; i++ {
+		v := testTerrain.VMin + rng.Float64()*(testTerrain.VMax-testTerrain.VMin)
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		motions = append(motions, Motion{OID: OID(i), Y0: rng.Float64() * 1000, T0: 0, V: v})
+	}
+	queries := make([]Query, 25)
+	for i := range queries {
+		y1 := rng.Float64() * 900
+		t1 := rng.Float64() * 50
+		queries[i] = Query{Y1: y1, Y2: y1 + rng.Float64()*120, T1: t1, T2: t1 + rng.Float64()*60}
+	}
+
+	answers := map[string][][]OID{}
+	for name, mk := range mks {
+		ix := mk()
+		for _, m := range motions {
+			if err := ix.Insert(m); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		var res [][]OID
+		for _, q := range queries {
+			res = append(res, collect(t, ix, q))
+		}
+		answers[name] = res
+	}
+	// The Wide-codec dualbp answer is the float64-exact reference; the
+	// float32-backed methods may differ only at boundaries, so compare
+	// cardinalities within a tiny slack and flag real divergence.
+	ref := answers["dualbp"]
+	for name, res := range answers {
+		for i := range queries {
+			a, b := ref[i], res[i]
+			diff := symmetricDiff(a, b)
+			if diff > 1+len(a)/100 {
+				t.Errorf("%s query %d: answer differs from reference by %d (|ref|=%d, |got|=%d)",
+					name, i, diff, len(a), len(b))
+			}
+		}
+	}
+}
+
+func symmetricDiff(a, b []OID) int {
+	in := map[OID]int{}
+	for _, x := range a {
+		in[x]++
+	}
+	for _, x := range b {
+		in[x]--
+	}
+	d := 0
+	for _, v := range in {
+		if v != 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// The whole stack must work against a real file-backed store.
+func TestFileBackedEndToEnd(t *testing.T) {
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "mobidx.db"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ix, err := NewDualBPlusIndex(fs, DualBPlusConfig{Terrain: testTerrain, C: 4, Codec: CompactRecords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var motions []Motion
+	for i := 0; i < 2000; i++ {
+		v := testTerrain.VMin + rng.Float64()*(testTerrain.VMax-testTerrain.VMin)
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		m := Motion{OID: OID(i), Y0: rng.Float64() * 1000, T0: 0, V: v}
+		motions = append(motions, m)
+		if err := ix.Insert(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Update a third of them.
+	for i := 0; i < 700; i++ {
+		m := motions[i]
+		if err := ix.Delete(m); err != nil {
+			t.Fatal(err)
+		}
+		nm := Motion{OID: m.OID, Y0: m.At(10), T0: 10, V: -m.V}
+		if nm.Y0 < 0 {
+			nm.Y0 = 0
+		}
+		if nm.Y0 > 1000 {
+			nm.Y0 = 1000
+		}
+		if err := ix.Insert(nm); err != nil {
+			t.Fatal(err)
+		}
+		motions[i] = nm
+	}
+	// Queries against brute force (rounding slack for the compact codec).
+	for trial := 0; trial < 20; trial++ {
+		y1 := rng.Float64() * 850
+		t1 := 10 + rng.Float64()*40
+		q := Query{Y1: y1, Y2: y1 + 100, T1: t1, T2: t1 + 30}
+		want := 0
+		for _, m := range motions {
+			if m.Matches(q) {
+				want++
+			}
+		}
+		got := len(collect(t, ix, q))
+		if got < want-want/50-2 || got > want+want/50+2 {
+			t.Fatalf("file-backed query: got %d, want ~%d", got, want)
+		}
+	}
+	if fs.Stats().Writes == 0 {
+		t.Fatal("file store saw no writes")
+	}
+}
+
+// The buffered store must reduce counted I/O without changing answers.
+func TestBufferedStoreEquivalence(t *testing.T) {
+	// The kd index touches only two trees per insert, so the 4-page pool
+	// keeps their upper paths resident. (Dual-B+ with c=4 spreads inserts
+	// over 12 structures and a path-sized pool cannot help it — which is
+	// also why the paper reports its update cost as the c-fold price.)
+	build := func(store Store) Index1D {
+		ix, err := NewKDIndex(store, KDConfig{Terrain: testTerrain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 3000; i++ {
+			v := testTerrain.VMin + rng.Float64()*1.2
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			if err := ix.Insert(Motion{OID: OID(i), Y0: rng.Float64() * 1000, T0: 0, V: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	raw := NewMemStore(0)
+	rawIx := build(raw)
+	bufBase := NewMemStore(0)
+	buf := NewBufferedStore(bufBase, 4)
+	bufIx := build(buf)
+
+	q := Query{Y1: 200, Y2: 320, T1: 5, T2: 40}
+	a := collect(t, rawIx, q)
+	b := collect(t, bufIx, q)
+	if len(a) != len(b) {
+		t.Fatalf("buffered store changed the answer: %d vs %d", len(a), len(b))
+	}
+	// Build I/O through the buffer must be strictly lower than raw.
+	if buf.Stats().Reads >= raw.Stats().Reads {
+		t.Fatalf("buffer saved nothing: %d vs %d reads", buf.Stats().Reads, raw.Stats().Reads)
+	}
+}
+
+func TestKineticFacade(t *testing.T) {
+	objs := []KineticObject{
+		{OID: 1, Y0: 0, V: 2},
+		{OID: 2, Y0: 100, V: -1},
+	}
+	cs := Crossings(objs, 0, 100)
+	if len(cs) != 1 {
+		t.Fatalf("crossings = %v", cs)
+	}
+	st, err := NewKineticStructure(NewMemStore(0), objs, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	// At t=50: object 1 at 100, object 2 at 50.
+	if err := st.Query(90, 110, 50, func(OID) { found++ }); err != nil {
+		t.Fatal(err)
+	}
+	if found != 1 {
+		t.Fatalf("found %d", found)
+	}
+}
