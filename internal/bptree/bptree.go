@@ -164,27 +164,44 @@ func (t *Tree) readNode(id pager.PageID) (*node, error) {
 	return t.decode(p)
 }
 
+// decode parses a page into a node. Every structural field read from the
+// page is bounds-checked before use, so a corrupted page — torn write, bit
+// rot, wrong page fed back by a broken store — yields a typed error
+// wrapping pager.ErrPageCorrupt, never a slice-bounds panic.
 func (t *Tree) decode(p *pager.Page) (*node, error) {
 	d := p.Data
+	if len(d) < headerSize {
+		return nil, fmt.Errorf("bptree: page %d: %d bytes, want >= %d: %w",
+			p.ID, len(d), headerSize, pager.ErrPageCorrupt)
+	}
 	n := &node{id: p.ID}
 	switch d[0] {
 	case typeLeaf:
 		n.leaf = true
 	case typeInternal:
 	default:
-		return nil, fmt.Errorf("bptree: page %d: bad node type %d", p.ID, d[0])
+		return nil, fmt.Errorf("bptree: page %d: bad node type %d: %w", p.ID, d[0], pager.ErrPageCorrupt)
 	}
 	count := int(binary.LittleEndian.Uint16(d[2:4]))
 	n.next = pager.PageID(binary.LittleEndian.Uint32(d[4:8]))
 	off := headerSize
 	if n.leaf {
 		es := t.codec.leafEntrySize()
+		if count > (len(d)-headerSize)/es {
+			return nil, fmt.Errorf("bptree: page %d: leaf count %d exceeds page capacity %d: %w",
+				p.ID, count, (len(d)-headerSize)/es, pager.ErrPageCorrupt)
+		}
 		n.entries = make([]Entry, count)
 		for i := 0; i < count; i++ {
 			n.entries[i] = t.decodeEntry(d[off : off+es])
 			off += es
 		}
 		return n, nil
+	}
+	es := t.codec.intEntrySize()
+	if count > (len(d)-headerSize-4)/es {
+		return nil, fmt.Errorf("bptree: page %d: internal count %d exceeds page capacity %d: %w",
+			p.ID, count, (len(d)-headerSize-4)/es, pager.ErrPageCorrupt)
 	}
 	n.kids = make([]pager.PageID, 0, count+1)
 	n.keys = make([]float64, 0, count)
@@ -204,7 +221,51 @@ func (t *Tree) decode(p *pager.Page) (*node, error) {
 			off += 20
 		}
 	}
+	for _, kid := range n.kids {
+		if kid == pager.NilPage {
+			return nil, fmt.Errorf("bptree: page %d: nil child pointer: %w", p.ID, pager.ErrPageCorrupt)
+		}
+	}
 	return n, nil
+}
+
+// Meta captures the position and shape of a tree inside its store, so the
+// tree can be reattached after the store is closed and reopened (see
+// Attach). It fits in a pager.FileStore's user-metadata area.
+type Meta struct {
+	Root   pager.PageID
+	Height int
+	Size   int
+}
+
+// Meta returns the tree's current persistence metadata. Valid until the
+// next mutating operation.
+func (t *Tree) Meta() Meta { return Meta{Root: t.root, Height: t.height, Size: t.size} }
+
+// Attach reattaches a tree previously built in store (same page size and
+// codec) from its Meta, typically after a pager.OpenFileStore. The root
+// page is read immediately to validate the metadata.
+func Attach(store pager.Store, cfg Config, m Meta) (*Tree, error) {
+	t := &Tree{store: store, codec: cfg.Codec}
+	body := store.PageSize() - headerSize
+	t.leafCap = body / cfg.Codec.leafEntrySize()
+	t.intCap = (body - 4) / cfg.Codec.intEntrySize()
+	if t.leafCap < 4 || t.intCap < 4 {
+		return nil, fmt.Errorf("bptree: page size %d too small", store.PageSize())
+	}
+	if m.Root == pager.NilPage || m.Height < 1 || m.Size < 0 {
+		return nil, fmt.Errorf("bptree: invalid meta %+v", m)
+	}
+	t.root, t.height, t.size = m.Root, m.Height, m.Size
+	n, err := t.readNode(m.Root)
+	if err != nil {
+		return nil, fmt.Errorf("bptree: attach: %w", err)
+	}
+	if n.leaf != (m.Height == 1) {
+		return nil, fmt.Errorf("bptree: attach: root leafness disagrees with height %d: %w",
+			m.Height, pager.ErrPageCorrupt)
+	}
+	return t, nil
 }
 
 func (t *Tree) decodeEntry(b []byte) Entry {

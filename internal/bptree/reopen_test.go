@@ -1,0 +1,121 @@
+package bptree
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mobidx/internal/pager"
+)
+
+// encodeMeta packs a tree's Meta into a FileStore user-metadata record.
+func encodeMeta(m Meta) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(m.Root))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(m.Height))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(m.Size))
+	return b
+}
+
+func decodeMeta(b []byte) Meta {
+	return Meta{
+		Root:   pager.PageID(binary.LittleEndian.Uint32(b[0:4])),
+		Height: int(binary.LittleEndian.Uint32(b[4:8])),
+		Size:   int(binary.LittleEndian.Uint64(b[8:16])),
+	}
+}
+
+func collectRange(t *testing.T, tr *Tree, lo, hi float64) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := tr.Range(lo, hi, func(e Entry) bool { out = append(out, e); return true }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTreeFileStoreRoundTrip builds a B+-tree on a FileStore, syncs,
+// closes, reopens via OpenFileStore + Attach, and requires the identical
+// query result set — the crash-recovery acceptance path, run both with and
+// without a ChecksumStore in the stack.
+func TestTreeFileStoreRoundTrip(t *testing.T) {
+	for _, withChecksum := range []bool{false, true} {
+		name := "plain"
+		if withChecksum {
+			name = "checksummed"
+		}
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "tree.db")
+			fs, err := pager.NewFileStore(path, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var store pager.Store = fs
+			if withChecksum {
+				if store, err = pager.NewChecksumStore(fs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tr, err := New(store, Config{Codec: Wide})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 500; i++ {
+				e := Entry{Key: float64((i * 31) % 97), Val: uint64(i), Aux: float64(i) / 2}
+				if err := tr.Insert(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 500; i += 3 {
+				if err := tr.Delete(float64((i*31)%97), uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := collectRange(t, tr, 10, 60)
+			wantLen := tr.Len()
+			if err := fs.SetUserMeta(encodeMeta(tr.Meta())); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := pager.OpenFileStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			var store2 pager.Store = re
+			if withChecksum {
+				if store2, err = pager.NewChecksumStore(re); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tr2, err := Attach(store2, Config{Codec: Wide}, decodeMeta(re.UserMeta()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr2.Len() != wantLen {
+				t.Fatalf("reopened Len = %d, want %d", tr2.Len(), wantLen)
+			}
+			got := collectRange(t, tr2, 10, 60)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("result set changed across reopen: %d vs %d entries", len(got), len(want))
+			}
+			if err := tr2.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// The reopened tree must stay fully mutable.
+			if err := tr2.Insert(Entry{Key: 42.5, Val: 999999}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr2.Delete(42.5, 999999); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

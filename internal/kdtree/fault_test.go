@@ -1,0 +1,95 @@
+package kdtree
+
+import (
+	"errors"
+	"testing"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/pager"
+)
+
+// TestKDTreeSurfacesStorageFaults drives the tree over a store failing
+// each operation class in turn: every failure must surface as an error
+// (never a panic), and a run on the same data without faults stays intact.
+func TestKDTreeSurfacesStorageFaults(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{X: float64((i * 37) % 100), Y: float64((i * 61) % 100), Val: uint64(i)}
+	}
+	for _, cfg := range []pager.FaultConfig{
+		{Seed: 1, Read: pager.OpFaults{FailEvery: 5}},
+		{Seed: 2, Write: pager.OpFaults{FailEvery: 5}},
+		{Seed: 3, Alloc: pager.OpFaults{FailEvery: 3}},
+		{Seed: 4, Free: pager.OpFaults{FailEvery: 2}},
+	} {
+		faulty := pager.NewFaultStore(pager.NewMemStore(256), cfg)
+		tr, err := New(faulty, Config{World: world})
+		if err != nil {
+			if !errors.Is(err, pager.ErrInjected) {
+				t.Fatalf("cfg %+v: constructor error outside taxonomy: %v", cfg, err)
+			}
+			continue
+		}
+		var opErrs int
+		for _, p := range pts {
+			if err := tr.Insert(p); err != nil {
+				if !errors.Is(err, pager.ErrInjected) && !errors.Is(err, pager.ErrPageNotFound) {
+					t.Fatalf("cfg %+v: insert error outside taxonomy: %v", cfg, err)
+				}
+				opErrs++
+			}
+		}
+		if err := tr.SearchRect(geom.Rect{MinX: 10, MinY: 10, MaxX: 60, MaxY: 60}, func(Point) bool { return true }); err != nil {
+			if !errors.Is(err, pager.ErrInjected) && !errors.Is(err, pager.ErrPageNotFound) {
+				t.Fatalf("cfg %+v: search error outside taxonomy: %v", cfg, err)
+			}
+			opErrs++
+		}
+		for _, p := range pts[:50] {
+			if _, err := tr.Delete(p); err != nil {
+				if !errors.Is(err, pager.ErrInjected) && !errors.Is(err, pager.ErrPageNotFound) {
+					t.Fatalf("cfg %+v: delete error outside taxonomy: %v", cfg, err)
+				}
+				opErrs++
+			}
+		}
+		if faulty.Counters().Total() > 0 && opErrs == 0 {
+			t.Fatalf("cfg %+v: faults injected but no operation reported one", cfg)
+		}
+	}
+}
+
+// TestKDTreeRetryQuiescence checks full correctness once transient faults
+// are absorbed by the retry layer.
+func TestKDTreeRetryQuiescence(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	build := func(store pager.Store) int {
+		tr, err := New(store, Config{World: world})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			if err := tr.Insert(Point{X: float64((i * 37) % 100), Y: float64((i * 61) % 100), Val: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := 0
+		if err := tr.SearchRect(geom.Rect{MinX: 10, MinY: 10, MaxX: 60, MaxY: 60}, func(Point) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	want := build(pager.NewMemStore(256))
+	faulty := pager.NewFaultStore(pager.NewMemStore(256), pager.FaultConfig{
+		Seed: 9, Read: pager.OpFaults{FailProb: 0.2}, Write: pager.OpFaults{FailProb: 0.2},
+		Alloc: pager.OpFaults{FailProb: 0.2}, Transient: true,
+	})
+	got := build(pager.NewRetryStore(faulty, pager.RetryPolicy{MaxAttempts: 16}))
+	if got != want {
+		t.Fatalf("retry run found %d points, fault-free run %d", got, want)
+	}
+	if faulty.Counters().Total() == 0 {
+		t.Fatal("no faults injected; test is vacuous")
+	}
+}

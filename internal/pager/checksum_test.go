@@ -1,0 +1,163 @@
+package pager
+
+import (
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func newChecksum(t *testing.T, pageSize int) (*ChecksumStore, *MemStore) {
+	t.Helper()
+	under := NewMemStore(pageSize)
+	cs, err := NewChecksumStore(under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, under
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	cs, _ := newChecksum(t, 128)
+	if cs.PageSize() != 128-ChecksumTrailerSize {
+		t.Fatalf("payload size = %d", cs.PageSize())
+	}
+	p, err := cs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != cs.PageSize() {
+		t.Fatalf("allocated payload %d bytes", len(p.Data))
+	}
+	for i := range p.Data {
+		p.Data[i] = byte(i)
+	}
+	if err := cs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.Read(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != byte(i) {
+			t.Fatalf("byte %d = %#x", i, got.Data[i])
+		}
+	}
+}
+
+func TestChecksumUnwrittenPageReadsZero(t *testing.T) {
+	cs, _ := newChecksum(t, 128)
+	p, _ := cs.Allocate()
+	got, err := cs.Read(p.ID)
+	if err != nil {
+		t.Fatalf("never-written page must read as zeroes, got %v", err)
+	}
+	if !allZero(got.Data) {
+		t.Fatal("expected zero payload")
+	}
+}
+
+// TestChecksumDetectsEverySingleBitFlip flips each bit of a stored page in
+// turn and requires a typed ErrPageCorrupt every time: 100% detection.
+func TestChecksumDetectsEverySingleBitFlip(t *testing.T) {
+	const pageSize = 64
+	cs, under := newChecksum(t, pageSize)
+	p, _ := cs.Allocate()
+	for i := range p.Data {
+		p.Data[i] = byte(3 * i)
+	}
+	if err := cs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 8*pageSize; bit++ {
+		raw, err := under.Read(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw.Data[bit/8] ^= 1 << (bit % 8)
+		if err := under.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Read(p.ID); !errors.Is(err, ErrPageCorrupt) {
+			t.Fatalf("bit %d: corruption not detected (err = %v)", bit, err)
+		}
+		raw.Data[bit/8] ^= 1 << (bit % 8) // restore
+		if err := under.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChecksumDetectsTornWrites overwrites a page with every possible torn
+// prefix of a new version and requires detection for each.
+func TestChecksumDetectsTornWrites(t *testing.T) {
+	const pageSize = 64
+	cs, under := newChecksum(t, pageSize)
+	p, _ := cs.Allocate()
+	for i := range p.Data {
+		p.Data[i] = 0x55
+	}
+	if err := cs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	oldRaw, _ := under.Read(p.ID)
+	for i := range p.Data {
+		p.Data[i] = 0x99
+	}
+	if err := cs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	newRaw, _ := under.Read(p.ID)
+	for cut := 1; cut < pageSize; cut++ {
+		torn := make([]byte, pageSize)
+		copy(torn, oldRaw.Data)
+		copy(torn[:cut], newRaw.Data[:cut])
+		if err := under.Write(&Page{ID: p.ID, Data: torn}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Read(p.ID); !errors.Is(err, ErrPageCorrupt) {
+			t.Fatalf("torn write at %d bytes not detected (err = %v)", cut, err)
+		}
+	}
+}
+
+func TestChecksumWithFaultStoreBitFlips(t *testing.T) {
+	under := NewMemStore(128)
+	faulty := NewFaultStore(under, FaultConfig{Seed: 11, Read: OpFaults{FailEvery: 2}, BitFlips: true})
+	cs, err := NewChecksumStore(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := cs.Allocate()
+	for i := range p.Data {
+		p.Data[i] = byte(i * 7)
+	}
+	if err := cs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt, clean int
+	for i := 0; i < 20; i++ {
+		_, err := cs.Read(p.ID)
+		switch {
+		case err == nil:
+			clean++
+		case errors.Is(err, ErrPageCorrupt):
+			corrupt++
+		default:
+			t.Fatalf("read %d: unexpected error %v", i, err)
+		}
+	}
+	if corrupt != 10 || clean != 10 {
+		t.Fatalf("FailEvery=2 over 20 reads: %d corrupt, %d clean", corrupt, clean)
+	}
+}
+
+// The zero-page convention is sound only because no genuine payload
+// checksums to zero while also being all zero.
+func TestChecksumZeroPayloadHasNonzeroCRC(t *testing.T) {
+	for _, n := range []int{1, 60, 124, 4092} {
+		if crc32.Checksum(make([]byte, n), castagnoli) == 0 {
+			t.Fatalf("CRC-32C of %d zero bytes is zero; zero-page convention unsound", n)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Storage fault taxonomy. Every failure a Store can produce falls into one
+// of three classes (see DESIGN.md "Storage robustness"):
+//
+//   - permanent: the operation failed and will keep failing (bad page id,
+//     closed store, media error). Propagated to the caller.
+//   - transient: the operation failed but may succeed if retried (injected
+//     by FaultStore with Transient: true; a RetryStore absorbs these).
+//   - silent: the operation "succeeded" but the data is wrong (bit rot,
+//     torn write). Invisible at this layer; a ChecksumStore converts them
+//     into detected ErrPageCorrupt errors.
+var (
+	// ErrInjected marks failures manufactured by a FaultStore.
+	ErrInjected = errors.New("pager: injected fault")
+	// ErrTransient marks failures worth retrying; test with IsTransient.
+	ErrTransient = errors.New("pager: transient fault")
+)
+
+// IsTransient reports whether err is a retryable storage fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// InjectedError is the concrete error returned by FaultStore. It matches
+// ErrInjected always and ErrTransient when the fault was transient.
+type InjectedError struct {
+	Op        string // "read", "write", "alloc", "free"
+	Page      PageID // page involved (0 for alloc)
+	N         int64  // ordinal of this fault (1-based over the store's life)
+	Transient bool
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("pager: injected %s %s fault #%d (page %d)", kind, e.Op, e.N, e.Page)
+}
+
+// Is lets errors.Is match both ErrInjected and (when transient) ErrTransient.
+func (e *InjectedError) Is(target error) bool {
+	return target == ErrInjected || (e.Transient && target == ErrTransient)
+}
+
+// OpFaults configures fault injection for one operation class. Both
+// triggers may be active at once; an operation faults if either fires.
+type OpFaults struct {
+	// FailEvery injects a fault on the Nth, 2Nth, 3Nth... operation of the
+	// class (counted over the store's lifetime). Zero disables.
+	FailEvery int64
+	// FailProb independently faults each operation with this probability,
+	// drawn from the store's seeded generator. Zero disables.
+	FailProb float64
+}
+
+func (o OpFaults) fires(count int64, rng *rand.Rand) bool {
+	if o.FailEvery > 0 && count%o.FailEvery == 0 {
+		return true
+	}
+	return o.FailProb > 0 && rng.Float64() < o.FailProb
+}
+
+// FaultConfig configures a FaultStore. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed seeds the store's private random generator; runs with the same
+	// seed and operation sequence inject exactly the same faults.
+	Seed int64
+	// Per-class triggers.
+	Read, Write, Alloc, Free OpFaults
+	// TornWrites makes an injected write fault tear the page: a random
+	// non-empty prefix of the new data reaches the underlying store, the
+	// rest of the slot keeps its previous contents, and the write still
+	// returns an error (the caller knows it failed; the on-disk page is
+	// now silently inconsistent, as after a crash mid-write).
+	TornWrites bool
+	// BitFlips makes an injected read fault silent: the read succeeds but
+	// one random bit of the returned data is flipped (bit rot). Without a
+	// ChecksumStore above, the corruption is invisible.
+	BitFlips bool
+	// Transient marks injected errors retryable (see RetryStore). Torn
+	// writes and bit flips are never transient: retrying cannot undo them.
+	Transient bool
+	// MaxFaults caps the total number of injected faults; zero means
+	// unlimited. Once spent, the store behaves like its underlying store —
+	// the workload reaches quiescence.
+	MaxFaults int64
+}
+
+// FaultCounters reports what a FaultStore has done so far.
+type FaultCounters struct {
+	Reads, Writes, Allocs, Frees         int64 // operations seen
+	ReadFaults, WriteFaults, AllocFaults int64 // faults injected
+	FreeFaults                           int64
+	TornWrites, BitFlips                 int64 // silent corruptions among the above
+}
+
+// Total returns the total number of injected faults.
+func (c FaultCounters) Total() int64 {
+	return c.ReadFaults + c.WriteFaults + c.AllocFaults + c.FreeFaults
+}
+
+// FaultStore wraps a Store and injects faults deterministically from a
+// seed: errors, torn writes, and bit flips, per FaultConfig. It is the
+// test substrate for every robustness property in this repository — wrap
+// any store with it and assert that the structure above survives.
+//
+// Composition order matters: place the FaultStore directly above the store
+// it "damages", a ChecksumStore above it to detect silent corruption, and
+// a RetryStore above that to absorb transient errors.
+type FaultStore struct {
+	mu    sync.Mutex
+	under Store
+	cfg   FaultConfig
+	rng   *rand.Rand
+	ctr   FaultCounters
+}
+
+// NewFaultStore wraps under with deterministic fault injection.
+func NewFaultStore(under Store, cfg FaultConfig) *FaultStore {
+	return &FaultStore{under: under, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Counters returns a snapshot of the operation and fault counters.
+func (f *FaultStore) Counters() FaultCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ctr
+}
+
+// budgetLeft reports whether another fault may be injected (caller holds mu).
+func (f *FaultStore) budgetLeft() bool {
+	return f.cfg.MaxFaults == 0 || f.ctr.Total() < f.cfg.MaxFaults
+}
+
+// PageSize implements Store.
+func (f *FaultStore) PageSize() int { return f.under.PageSize() }
+
+// Allocate implements Store.
+func (f *FaultStore) Allocate() (*Page, error) {
+	f.mu.Lock()
+	f.ctr.Allocs++
+	if f.budgetLeft() && f.cfg.Alloc.fires(f.ctr.Allocs, f.rng) {
+		f.ctr.AllocFaults++
+		err := &InjectedError{Op: "alloc", N: f.ctr.Total(), Transient: f.cfg.Transient}
+		f.mu.Unlock()
+		return nil, err
+	}
+	f.mu.Unlock()
+	return f.under.Allocate()
+}
+
+// Read implements Store, optionally flipping a bit of the result.
+func (f *FaultStore) Read(id PageID) (*Page, error) {
+	f.mu.Lock()
+	f.ctr.Reads++
+	fault := f.budgetLeft() && f.cfg.Read.fires(f.ctr.Reads, f.rng)
+	var flipBit int
+	if fault {
+		f.ctr.ReadFaults++
+		if f.cfg.BitFlips {
+			f.ctr.BitFlips++
+			flipBit = f.rng.Intn(8 * f.under.PageSize())
+		} else {
+			err := &InjectedError{Op: "read", Page: id, N: f.ctr.Total(), Transient: f.cfg.Transient}
+			f.mu.Unlock()
+			return nil, err
+		}
+	}
+	f.mu.Unlock()
+	p, err := f.under.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if fault && f.cfg.BitFlips {
+		p.Data[flipBit/8] ^= 1 << (flipBit % 8)
+	}
+	return p, nil
+}
+
+// Write implements Store, optionally tearing the page.
+func (f *FaultStore) Write(p *Page) error {
+	f.mu.Lock()
+	f.ctr.Writes++
+	fault := f.budgetLeft() && f.cfg.Write.fires(f.ctr.Writes, f.rng)
+	if !fault {
+		f.mu.Unlock()
+		return f.under.Write(p)
+	}
+	f.ctr.WriteFaults++
+	torn := f.cfg.TornWrites && len(p.Data) > 1
+	var cut int
+	if torn {
+		f.ctr.TornWrites++
+		cut = 1 + f.rng.Intn(len(p.Data)-1)
+	}
+	err := &InjectedError{Op: "write", Page: p.ID, N: f.ctr.Total(), Transient: f.cfg.Transient && !torn}
+	f.mu.Unlock()
+	if torn {
+		// The prefix reaches the store, the suffix keeps whatever the slot
+		// held before — exactly a crash mid-write.
+		data := make([]byte, len(p.Data))
+		if old, rerr := f.under.Read(p.ID); rerr == nil {
+			copy(data, old.Data)
+		}
+		copy(data[:cut], p.Data[:cut])
+		// Best effort: if even the torn write fails, the original error
+		// still describes the situation.
+		_ = f.under.Write(&Page{ID: p.ID, Data: data})
+	}
+	return err
+}
+
+// Free implements Store.
+func (f *FaultStore) Free(id PageID) error {
+	f.mu.Lock()
+	f.ctr.Frees++
+	if f.budgetLeft() && f.cfg.Free.fires(f.ctr.Frees, f.rng) {
+		f.ctr.FreeFaults++
+		err := &InjectedError{Op: "free", Page: id, N: f.ctr.Total(), Transient: f.cfg.Transient}
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
+	return f.under.Free(id)
+}
+
+// Stats implements Store, reporting the underlying store's traffic.
+func (f *FaultStore) Stats() Stats { return f.under.Stats() }
+
+// PagesInUse implements Store.
+func (f *FaultStore) PagesInUse() int { return f.under.PagesInUse() }

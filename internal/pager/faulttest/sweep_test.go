@@ -1,0 +1,201 @@
+package faulttest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mobidx/internal/pager"
+)
+
+// baselines computes each workload's ground-truth fingerprint on a clean
+// MemStore. A workload that cannot even run clean is a test bug.
+func baselines(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, w := range Workloads() {
+		res, err, pan := RunGuarded(w, pager.NewMemStore(PageSize))
+		if pan != nil {
+			t.Fatalf("%s: clean run panicked: %v", w.Name, pan)
+		}
+		if err != nil {
+			t.Fatalf("%s: clean run failed: %v", w.Name, err)
+		}
+		if res == "" {
+			t.Fatalf("%s: clean run produced an empty fingerprint", w.Name)
+		}
+		out[w.Name] = res
+	}
+	return out
+}
+
+// TestFaultSweepPermanent fails each operation class at several rates with
+// permanent errors. Required: no panic ever, and a run that happens to
+// dodge every fault still answers correctly.
+func TestFaultSweepPermanent(t *testing.T) {
+	base := baselines(t)
+	type scenario struct {
+		name string
+		cfg  pager.FaultConfig
+	}
+	var scenarios []scenario
+	classes := []struct {
+		name string
+		set  func(*pager.FaultConfig, pager.OpFaults)
+	}{
+		{"read", func(c *pager.FaultConfig, f pager.OpFaults) { c.Read = f }},
+		{"write", func(c *pager.FaultConfig, f pager.OpFaults) { c.Write = f }},
+		{"alloc", func(c *pager.FaultConfig, f pager.OpFaults) { c.Alloc = f }},
+		{"free", func(c *pager.FaultConfig, f pager.OpFaults) { c.Free = f }},
+	}
+	for _, cl := range classes {
+		for _, every := range []int64{2, 7, 31} {
+			cfg := pager.FaultConfig{Seed: 1000 + every}
+			cl.set(&cfg, pager.OpFaults{FailEvery: every})
+			scenarios = append(scenarios, scenario{
+				name: fmt.Sprintf("%s/every=%d", cl.name, every),
+				cfg:  cfg,
+			})
+		}
+		cfg := pager.FaultConfig{Seed: 99}
+		cl.set(&cfg, pager.OpFaults{FailProb: 0.1})
+		scenarios = append(scenarios, scenario{name: cl.name + "/prob=0.1", cfg: cfg})
+	}
+	for _, w := range Workloads() {
+		for _, sc := range scenarios {
+			t.Run(w.Name+"/"+sc.name, func(t *testing.T) {
+				store := pager.NewFaultStore(pager.NewMemStore(PageSize), sc.cfg)
+				res, err, pan := RunGuarded(w, store)
+				if pan != nil {
+					t.Fatalf("panicked under injected faults: %v", pan)
+				}
+				if err == nil {
+					if store.Counters().Total() != 0 {
+						t.Fatal("faults were injected but no error surfaced")
+					}
+					if res != base[w.Name] {
+						t.Fatal("fault-free run diverged from baseline")
+					}
+					return
+				}
+				if !errors.Is(err, pager.ErrInjected) && !errors.Is(err, pager.ErrPageNotFound) {
+					t.Fatalf("error escaped the storage taxonomy: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultSweepSilentCorruption puts a ChecksumStore above a store that
+// flips bits on read or tears pages on write: every failure the workload
+// sees must be a detected, typed corruption or the original injected
+// error — never garbage decoded into wrong answers.
+func TestFaultSweepSilentCorruption(t *testing.T) {
+	base := baselines(t)
+	scenarios := []struct {
+		name string
+		cfg  pager.FaultConfig
+	}{
+		{"bitflip/every=5", pager.FaultConfig{Seed: 5, Read: pager.OpFaults{FailEvery: 5}, BitFlips: true}},
+		{"bitflip/every=23", pager.FaultConfig{Seed: 23, Read: pager.OpFaults{FailEvery: 23}, BitFlips: true}},
+		{"torn/every=5", pager.FaultConfig{Seed: 7, Write: pager.OpFaults{FailEvery: 5}, TornWrites: true}},
+		{"torn/every=23", pager.FaultConfig{Seed: 11, Write: pager.OpFaults{FailEvery: 23}, TornWrites: true}},
+	}
+	for _, w := range Workloads() {
+		for _, sc := range scenarios {
+			t.Run(w.Name+"/"+sc.name, func(t *testing.T) {
+				faulty := pager.NewFaultStore(pager.NewMemStore(PageSize), sc.cfg)
+				cs, err := pager.NewChecksumStore(faulty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err, pan := RunGuarded(w, cs)
+				if pan != nil {
+					t.Fatalf("panicked under silent corruption: %v", pan)
+				}
+				if err == nil {
+					if faulty.Counters().Total() != 0 {
+						t.Fatal("corruption was injected but neither detected nor fatal")
+					}
+					if res != base[w.Name] {
+						t.Fatal("fault-free run diverged from baseline")
+					}
+					return
+				}
+				if !errors.Is(err, pager.ErrPageCorrupt) && !errors.Is(err, pager.ErrInjected) {
+					t.Fatalf("silent corruption produced an untyped failure: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultSweepQuiescence injects transient faults in every class at once
+// and absorbs them with a RetryStore: the workload must complete and
+// answer every query exactly as the fault-free baseline does.
+func TestFaultSweepQuiescence(t *testing.T) {
+	base := baselines(t)
+	for _, rate := range []float64{0.05, 0.2} {
+		for _, w := range Workloads() {
+			t.Run(fmt.Sprintf("%s/rate=%v", w.Name, rate), func(t *testing.T) {
+				faulty := pager.NewFaultStore(pager.NewMemStore(PageSize), pager.FaultConfig{
+					Seed:      31337,
+					Read:      pager.OpFaults{FailProb: rate},
+					Write:     pager.OpFaults{FailProb: rate},
+					Alloc:     pager.OpFaults{FailProb: rate},
+					Free:      pager.OpFaults{FailProb: rate},
+					Transient: true,
+				})
+				rs := pager.NewRetryStore(faulty, pager.RetryPolicy{MaxAttempts: 16})
+				res, err, pan := RunGuarded(w, rs)
+				if pan != nil {
+					t.Fatalf("panicked under transient faults: %v", pan)
+				}
+				if err != nil {
+					t.Fatalf("transient faults at rate %v escaped the retry layer: %v", rate, err)
+				}
+				if faulty.Counters().Total() == 0 {
+					t.Fatalf("rate %v injected no faults; sweep is vacuous", rate)
+				}
+				if res != base[w.Name] {
+					t.Fatalf("rate %v: results diverged from fault-free baseline", rate)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultSweepFullStack composes the production stack — Buffered(Retry(
+// Checksum(Fault(Mem)))) — with a bounded fault budget: after the budget
+// is spent the store is clean, and the structure must still be exactly
+// right.
+func TestFaultSweepFullStack(t *testing.T) {
+	base := baselines(t)
+	for _, w := range Workloads() {
+		t.Run(w.Name, func(t *testing.T) {
+			faulty := pager.NewFaultStore(pager.NewMemStore(PageSize), pager.FaultConfig{
+				Seed:      4242,
+				Read:      pager.OpFaults{FailProb: 0.1},
+				Write:     pager.OpFaults{FailProb: 0.1},
+				Transient: true,
+				MaxFaults: 200,
+			})
+			cs, err := pager.NewChecksumStore(faulty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := pager.NewRetryStore(cs, pager.RetryPolicy{MaxAttempts: 16})
+			buf := pager.NewBuffered(rs, 4)
+			res, err, pan := RunGuarded(w, buf)
+			if pan != nil {
+				t.Fatalf("panicked under full stack: %v", pan)
+			}
+			if err != nil {
+				t.Fatalf("full stack failed: %v", err)
+			}
+			if res != base[w.Name] {
+				t.Fatal("full-stack results diverged from baseline")
+			}
+		})
+	}
+}

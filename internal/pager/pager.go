@@ -11,8 +11,11 @@
 package pager
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 )
@@ -176,9 +179,49 @@ func (m *MemStore) PagesInUse() int {
 	return len(m.pages)
 }
 
-// FileStore is a Store backed by a single file, one page per slot. It
-// demonstrates that every structure in this repository serializes cleanly
-// to real disk pages; experiments normally use MemStore for speed.
+// FileStore durability. Slot 0 of the backing file is a meta page that
+// makes the store reopenable after a clean Close or a crash-after-Sync:
+//
+//	off  0: magic "MOBIDXF1" (8 bytes)
+//	off  8: format version (uint32, = 1)
+//	off 12: page size (uint32)
+//	off 16: next never-allocated page id (uint32)
+//	off 20: free page count (uint32)
+//	off 24: free-list overflow chain head page id (uint32, 0 = none)
+//	off 28: user metadata length (uint32, <= UserMetaSize)
+//	off 32: user metadata (UserMetaSize bytes)
+//	off 64: inline free page ids (uint32 each)
+//	last 4: CRC-32C of everything before it
+//
+// When the free list outgrows the meta page, the tail spills into a chain
+// of overflow pages (layout: next id, count, ids, CRC trailer) repurposed
+// from the free list itself. Chain pages are kept out of circulation until
+// the next Sync rewrites the meta page, so the last synced snapshot is
+// always internally consistent: a crash between Syncs loses at most the
+// allocator changes since the previous Sync, never the meta's integrity.
+const (
+	fileMagic = "MOBIDXF1"
+	fileVer   = 1
+	// UserMetaSize is the number of user bytes persisted in the meta page;
+	// enough for an index to stash its root pointer and shape (see
+	// SetUserMeta).
+	UserMetaSize = 16
+
+	metaIDsOff = 48 // first inline free id
+)
+
+// ErrStoreClosed is returned by operations on a closed FileStore.
+var ErrStoreClosed = errors.New("pager: store closed")
+
+// ErrBadMeta is returned by OpenFileStore when the meta page is missing,
+// unrecognized, or fails its checksum.
+var ErrBadMeta = errors.New("pager: bad meta page")
+
+// FileStore is a Store backed by a single file, one page per slot, with a
+// checksummed meta page (slot 0) holding the allocator state. Sync
+// persists that state; OpenFileStore recovers it, so an index built on a
+// FileStore survives process restarts. Experiments normally use MemStore
+// for speed.
 type FileStore struct {
 	mu       sync.Mutex
 	f        *os.File
@@ -186,33 +229,311 @@ type FileStore struct {
 	free     []PageID
 	next     PageID
 	live     map[PageID]struct{}
+	user     []byte
+	ovPages  []PageID // overflow-chain pages referenced by the on-disk meta
+	closed   bool
 	stats    Stats
 }
 
-// NewFileStore creates (truncating) a file-backed store at path.
+// NewFileStore creates (truncating) a file-backed store at path and writes
+// an initial meta page, so the file is valid from the first moment.
 func NewFileStore(path string, pageSize int) (*FileStore, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
+	}
+	if pageSize < metaIDsOff+4 {
+		return nil, fmt.Errorf("pager: page size %d too small for meta page", pageSize)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
-	return &FileStore{f: f, pageSize: pageSize, next: 1, live: make(map[PageID]struct{})}, nil
+	fs := &FileStore{f: f, pageSize: pageSize, next: 1, live: make(map[PageID]struct{})}
+	if err := fs.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
 }
 
-// Close closes the backing file.
-func (fs *FileStore) Close() error { return fs.f.Close() }
+// OpenFileStore opens an existing store file without truncating it,
+// recovering the page size, allocator state and user metadata from the
+// meta page written by the last Sync (or Close).
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	fs, err := recoverFileStore(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	return fs, nil
+}
+
+func recoverFileStore(f *os.File) (*FileStore, error) {
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, 16), head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMeta, err)
+	}
+	if string(head[:8]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMeta, head[:8])
+	}
+	if v := binary.LittleEndian.Uint32(head[8:12]); v != fileVer {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadMeta, v)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(head[12:16]))
+	if pageSize < metaIDsOff+4 || pageSize > 1<<26 {
+		return nil, fmt.Errorf("%w: implausible page size %d", ErrBadMeta, pageSize)
+	}
+	meta := make([]byte, pageSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(pageSize)), meta); err != nil {
+		return nil, fmt.Errorf("%w: truncated meta page: %v", ErrBadMeta, err)
+	}
+	if err := verifyTrailer(meta); err != nil {
+		return nil, fmt.Errorf("%w: meta page: %v", ErrBadMeta, err)
+	}
+	next := PageID(binary.LittleEndian.Uint32(meta[16:20]))
+	if next == 0 {
+		return nil, fmt.Errorf("%w: next id is zero", ErrBadMeta)
+	}
+	freeCount := int(binary.LittleEndian.Uint32(meta[20:24]))
+	ovHead := PageID(binary.LittleEndian.Uint32(meta[24:28]))
+	userLen := int(binary.LittleEndian.Uint32(meta[28:32]))
+	if userLen > UserMetaSize {
+		return nil, fmt.Errorf("%w: user metadata length %d", ErrBadMeta, userLen)
+	}
+	user := append([]byte(nil), meta[32:32+userLen]...)
+
+	fs := &FileStore{f: f, pageSize: pageSize, next: next, live: make(map[PageID]struct{}), user: user}
+	inlineCap := fs.inlineFreeCap()
+	n := freeCount
+	if n > inlineCap {
+		n = inlineCap
+	}
+	seen := make(map[PageID]struct{}, freeCount)
+	addFree := func(id PageID) error {
+		if id == 0 || id >= next {
+			return fmt.Errorf("%w: free id %d out of range [1, %d)", ErrBadMeta, id, next)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("%w: free id %d listed twice", ErrBadMeta, id)
+		}
+		seen[id] = struct{}{}
+		fs.free = append(fs.free, id)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := addFree(PageID(binary.LittleEndian.Uint32(meta[metaIDsOff+4*i:]))); err != nil {
+			return nil, err
+		}
+	}
+	// Walk the overflow chain. Chain pages stay out of circulation (they
+	// are still referenced by the on-disk meta) until the next Sync.
+	for id := ovHead; id != 0; {
+		if id >= next {
+			return nil, fmt.Errorf("%w: overflow page %d out of range", ErrBadMeta, id)
+		}
+		for _, p := range fs.ovPages {
+			if p == id {
+				return nil, fmt.Errorf("%w: overflow chain cycle at page %d", ErrBadMeta, id)
+			}
+		}
+		fs.ovPages = append(fs.ovPages, id)
+		page := make([]byte, pageSize)
+		if _, err := io.ReadFull(io.NewSectionReader(f, fs.offset(id), int64(pageSize)), page); err != nil {
+			return nil, fmt.Errorf("%w: overflow page %d: %v", ErrBadMeta, id, err)
+		}
+		if err := verifyTrailer(page); err != nil {
+			return nil, fmt.Errorf("%w: overflow page %d: %v", ErrBadMeta, id, err)
+		}
+		count := int(binary.LittleEndian.Uint32(page[4:8]))
+		if count > fs.overflowCap() {
+			return nil, fmt.Errorf("%w: overflow page %d holds %d ids", ErrBadMeta, id, count)
+		}
+		for i := 0; i < count; i++ {
+			if err := addFree(PageID(binary.LittleEndian.Uint32(page[8+4*i:]))); err != nil {
+				return nil, err
+			}
+		}
+		id = PageID(binary.LittleEndian.Uint32(page[0:4]))
+	}
+	if len(fs.free) != freeCount {
+		return nil, fmt.Errorf("%w: free count %d but %d ids recovered", ErrBadMeta, freeCount, len(fs.free))
+	}
+	// Everything allocated, not free, and not a chain page is live data.
+	ov := make(map[PageID]struct{}, len(fs.ovPages))
+	for _, id := range fs.ovPages {
+		ov[id] = struct{}{}
+	}
+	for id := PageID(1); id < next; id++ {
+		if _, isFree := seen[id]; isFree {
+			continue
+		}
+		if _, isOv := ov[id]; isOv {
+			continue
+		}
+		fs.live[id] = struct{}{}
+	}
+	return fs, nil
+}
+
+// inlineFreeCap is the number of free ids the meta page holds inline.
+func (fs *FileStore) inlineFreeCap() int { return (fs.pageSize - metaIDsOff - 4) / 4 }
+
+// overflowCap is the number of free ids one overflow chain page holds.
+func (fs *FileStore) overflowCap() int { return (fs.pageSize - 8 - 4) / 4 }
+
+// verifyTrailer checks the CRC-32C trailer of a meta or overflow page.
+func verifyTrailer(page []byte) error {
+	body, trailer := page[:len(page)-4], page[len(page)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return fmt.Errorf("checksum %08x, want %08x", got, want)
+	}
+	return nil
+}
+
+func stampTrailer(page []byte) {
+	sum := crc32.Checksum(page[:len(page)-4], castagnoli)
+	binary.LittleEndian.PutUint32(page[len(page)-4:], sum)
+}
+
+// Sync persists the allocator state (meta page plus free-list overflow
+// chain) and flushes the file, establishing a recovery point: a crash any
+// time after Sync returns loses nothing written before it.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	return fs.syncLocked()
+}
+
+func (fs *FileStore) syncLocked() error {
+	// Chain pages referenced by the previous meta are superseded by the
+	// snapshot we are about to write; they become ordinary free pages.
+	fs.free = append(fs.free, fs.ovPages...)
+	fs.ovPages = nil
+
+	inlineCap := fs.inlineFreeCap()
+	perOv := fs.overflowCap()
+	var containers []PageID
+	for len(fs.free) > inlineCap+len(containers)*perOv {
+		// Repurpose a free page as an overflow container. It leaves the
+		// free list (the meta will reference it) until the next Sync.
+		c := fs.free[len(fs.free)-1]
+		fs.free = fs.free[:len(fs.free)-1]
+		containers = append(containers, c)
+	}
+
+	inline := fs.free
+	var spill []PageID
+	if len(inline) > inlineCap {
+		inline, spill = fs.free[:inlineCap], fs.free[inlineCap:]
+	}
+	// Write the chain back to front so each page knows its successor.
+	nextID := PageID(0)
+	for i := len(containers) - 1; i >= 0; i-- {
+		lo := i * perOv
+		hi := lo + perOv
+		if lo > len(spill) {
+			lo = len(spill)
+		}
+		if hi > len(spill) {
+			hi = len(spill)
+		}
+		page := make([]byte, fs.pageSize)
+		binary.LittleEndian.PutUint32(page[0:4], uint32(nextID))
+		binary.LittleEndian.PutUint32(page[4:8], uint32(hi-lo))
+		for j, id := range spill[lo:hi] {
+			binary.LittleEndian.PutUint32(page[8+4*j:], uint32(id))
+		}
+		stampTrailer(page)
+		if _, err := fs.f.WriteAt(page, fs.offset(containers[i])); err != nil {
+			return fmt.Errorf("pager: write overflow page %d: %w", containers[i], err)
+		}
+		nextID = containers[i]
+	}
+
+	meta := make([]byte, fs.pageSize)
+	copy(meta[0:8], fileMagic)
+	binary.LittleEndian.PutUint32(meta[8:12], fileVer)
+	binary.LittleEndian.PutUint32(meta[12:16], uint32(fs.pageSize))
+	binary.LittleEndian.PutUint32(meta[16:20], uint32(fs.next))
+	binary.LittleEndian.PutUint32(meta[20:24], uint32(len(inline)+len(spill)))
+	binary.LittleEndian.PutUint32(meta[24:28], uint32(nextID))
+	binary.LittleEndian.PutUint32(meta[28:32], uint32(len(fs.user)))
+	copy(meta[32:32+UserMetaSize], fs.user)
+	for i, id := range inline {
+		binary.LittleEndian.PutUint32(meta[metaIDsOff+4*i:], uint32(id))
+	}
+	stampTrailer(meta)
+	if _, err := fs.f.WriteAt(meta, 0); err != nil {
+		return fmt.Errorf("pager: write meta page: %w", err)
+	}
+	fs.ovPages = containers
+	if err := fs.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync: %w", err)
+	}
+	return nil
+}
+
+// SetUserMeta stores up to UserMetaSize bytes of caller data in the meta
+// page — typically an index's root pointer and shape — persisted by the
+// next Sync (or Close) and recovered by OpenFileStore via UserMeta.
+func (fs *FileStore) SetUserMeta(b []byte) error {
+	if len(b) > UserMetaSize {
+		return fmt.Errorf("pager: user metadata %d bytes exceeds %d", len(b), UserMetaSize)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	fs.user = append([]byte(nil), b...)
+	return nil
+}
+
+// UserMeta returns a copy of the stored user metadata.
+func (fs *FileStore) UserMeta() []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]byte(nil), fs.user...)
+}
+
+// Close syncs the meta page and closes the backing file. It is safe to
+// call more than once; later calls return nil.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	syncErr := fs.syncLocked()
+	closeErr := fs.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
 
 // PageSize implements Store.
 func (fs *FileStore) PageSize() int { return fs.pageSize }
 
-func (fs *FileStore) offset(id PageID) int64 { return int64(id-1) * int64(fs.pageSize) }
+// offset maps a page id to its file position; slot 0 is the meta page.
+func (fs *FileStore) offset(id PageID) int64 { return int64(id) * int64(fs.pageSize) }
 
 // Allocate implements Store.
 func (fs *FileStore) Allocate() (*Page, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrStoreClosed
+	}
 	var id PageID
 	if n := len(fs.free); n > 0 {
 		id = fs.free[n-1]
@@ -226,19 +547,30 @@ func (fs *FileStore) Allocate() (*Page, error) {
 	return &Page{ID: id, Data: make([]byte, fs.pageSize)}, nil
 }
 
-// Read implements Store.
+// Read implements Store. Only a read past EOF of an allocated-but-never-
+// written page yields zeroes (the file simply hasn't grown that far); any
+// real I/O error propagates wrapped.
 func (fs *FileStore) Read(id PageID) (*Page, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrStoreClosed
+	}
 	if _, ok := fs.live[id]; !ok {
 		return nil, fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
 	data := make([]byte, fs.pageSize)
-	if _, err := fs.f.ReadAt(data, fs.offset(id)); err != nil {
-		// A page allocated but never written reads as zeroes.
-		for i := range data {
+	n, err := fs.f.ReadAt(data, fs.offset(id))
+	switch {
+	case err == nil:
+	case errors.Is(err, io.EOF):
+		// Allocated beyond the written tail of the file: the unread
+		// remainder is zeroes by definition.
+		for i := n; i < len(data); i++ {
 			data[i] = 0
 		}
+	default:
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
 	fs.stats.Reads++
 	return &Page{ID: id, Data: data}, nil
@@ -248,8 +580,14 @@ func (fs *FileStore) Read(id PageID) (*Page, error) {
 func (fs *FileStore) Write(p *Page) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
 	if _, ok := fs.live[p.ID]; !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, p.ID)
+	}
+	if len(p.Data) != fs.pageSize {
+		return fmt.Errorf("pager: write page %d: %d bytes, want %d", p.ID, len(p.Data), fs.pageSize)
 	}
 	if _, err := fs.f.WriteAt(p.Data, fs.offset(p.ID)); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", p.ID, err)
@@ -262,6 +600,9 @@ func (fs *FileStore) Write(p *Page) error {
 func (fs *FileStore) Free(id PageID) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
 	if _, ok := fs.live[id]; !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}

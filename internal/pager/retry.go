@@ -1,0 +1,116 @@
+package pager
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds how a RetryStore reacts to transient faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (first try
+	// included). Zero selects 4.
+	MaxAttempts int
+	// Backoff, when non-nil, returns how long to sleep before retry number
+	// attempt (1-based). Nil means retry immediately — the right choice for
+	// tests and for in-memory substrates.
+	Backoff func(attempt int) time.Duration
+}
+
+// ExponentialBackoff returns a backoff function starting at base and
+// doubling per attempt, capped at max.
+func ExponentialBackoff(base, max time.Duration) func(int) time.Duration {
+	return func(attempt int) time.Duration {
+		d := base << (attempt - 1)
+		if d > max || d <= 0 {
+			d = max
+		}
+		return d
+	}
+}
+
+// RetryStore wraps a Store and retries operations that fail with a
+// transient fault (IsTransient) up to the policy's attempt bound, then
+// propagates the last error. Permanent errors — ErrPageNotFound,
+// ErrPageCorrupt, real I/O failures — propagate immediately: retrying
+// cannot fix them, and hiding them would mask bugs.
+type RetryStore struct {
+	under   Store
+	policy  RetryPolicy
+	retries atomic.Int64
+	gaveUps atomic.Int64
+}
+
+// NewRetryStore wraps under with the given policy.
+func NewRetryStore(under Store, policy RetryPolicy) *RetryStore {
+	if policy.MaxAttempts <= 0 {
+		policy.MaxAttempts = 4
+	}
+	return &RetryStore{under: under, policy: policy}
+}
+
+// Retries returns the number of retried attempts so far.
+func (r *RetryStore) Retries() int64 { return r.retries.Load() }
+
+// GaveUps returns the number of operations that exhausted all attempts.
+func (r *RetryStore) GaveUps() int64 { return r.gaveUps.Load() }
+
+// do runs op under the retry policy.
+func (r *RetryStore) do(op func() error) error {
+	var err error
+	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt == r.policy.MaxAttempts {
+			break
+		}
+		r.retries.Add(1)
+		if r.policy.Backoff != nil {
+			time.Sleep(r.policy.Backoff(attempt))
+		}
+	}
+	r.gaveUps.Add(1)
+	return fmt.Errorf("pager: gave up after %d attempts: %w", r.policy.MaxAttempts, err)
+}
+
+// PageSize implements Store.
+func (r *RetryStore) PageSize() int { return r.under.PageSize() }
+
+// Allocate implements Store.
+func (r *RetryStore) Allocate() (*Page, error) {
+	var p *Page
+	err := r.do(func() error {
+		var e error
+		p, e = r.under.Allocate()
+		return e
+	})
+	return p, err
+}
+
+// Read implements Store.
+func (r *RetryStore) Read(id PageID) (*Page, error) {
+	var p *Page
+	err := r.do(func() error {
+		var e error
+		p, e = r.under.Read(id)
+		return e
+	})
+	return p, err
+}
+
+// Write implements Store.
+func (r *RetryStore) Write(p *Page) error {
+	return r.do(func() error { return r.under.Write(p) })
+}
+
+// Free implements Store.
+func (r *RetryStore) Free(id PageID) error {
+	return r.do(func() error { return r.under.Free(id) })
+}
+
+// Stats implements Store.
+func (r *RetryStore) Stats() Stats { return r.under.Stats() }
+
+// PagesInUse implements Store.
+func (r *RetryStore) PagesInUse() int { return r.under.PagesInUse() }

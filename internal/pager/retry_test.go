@@ -1,0 +1,117 @@
+package pager
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryAbsorbsTransientFaults(t *testing.T) {
+	faulty := NewFaultStore(NewMemStore(128), FaultConfig{
+		Seed:      1,
+		Read:      OpFaults{FailEvery: 2},
+		Write:     OpFaults{FailEvery: 2},
+		Alloc:     OpFaults{FailEvery: 2},
+		Transient: true,
+	})
+	rs := NewRetryStore(faulty, RetryPolicy{MaxAttempts: 4})
+	p, err := rs.Allocate()
+	if err != nil {
+		t.Fatalf("alloc through retry: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		p.Data[0] = byte(i)
+		if err := rs.Write(p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := rs.Read(p.ID)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Data[0] != byte(i) {
+			t.Fatalf("read %d: stale data", i)
+		}
+	}
+	if rs.Retries() == 0 {
+		t.Fatal("expected some retries")
+	}
+	if rs.GaveUps() != 0 {
+		t.Fatalf("%d give-ups with FailEvery=2 and 4 attempts", rs.GaveUps())
+	}
+}
+
+func TestRetryPropagatesPermanentImmediately(t *testing.T) {
+	faulty := NewFaultStore(NewMemStore(128), FaultConfig{Read: OpFaults{FailEvery: 1}})
+	rs := NewRetryStore(faulty, RetryPolicy{MaxAttempts: 5})
+	p, _ := rs.Allocate()
+	_ = rs.Write(p)
+	base := faulty.Counters().Reads
+	_, err := rs.Read(p.ID)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	if n := faulty.Counters().Reads - base; n != 1 {
+		t.Fatalf("permanent fault retried %d times", n-1)
+	}
+	// Missing pages are permanent too.
+	clean := NewRetryStore(NewMemStore(128), RetryPolicy{MaxAttempts: 5})
+	if _, err := clean.Read(9999); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRetryGivesUpAfterBoundedAttempts(t *testing.T) {
+	faulty := NewFaultStore(NewMemStore(128), FaultConfig{
+		Write:     OpFaults{FailEvery: 1},
+		Transient: true,
+	})
+	rs := NewRetryStore(faulty, RetryPolicy{MaxAttempts: 3})
+	p, _ := rs.Allocate()
+	err := rs.Write(p)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("got %v", err)
+	}
+	if got := faulty.Counters().Writes; got != 3 {
+		t.Fatalf("%d attempts, want 3", got)
+	}
+	if rs.GaveUps() != 1 {
+		t.Fatalf("GaveUps = %d", rs.GaveUps())
+	}
+}
+
+func TestRetryDoesNotRetryCorruption(t *testing.T) {
+	under := NewMemStore(128)
+	cs, err := NewChecksumStore(under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := NewRetryStore(cs, RetryPolicy{MaxAttempts: 5})
+	p, _ := rs.Allocate()
+	for i := range p.Data {
+		p.Data[i] = 0x42
+	}
+	if err := rs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := under.Read(p.ID)
+	raw.Data[3] ^= 0x10
+	_ = under.Write(raw)
+	base := under.Stats().Reads
+	_, rerr := rs.Read(p.ID)
+	if !errors.Is(rerr, ErrPageCorrupt) {
+		t.Fatalf("got %v", rerr)
+	}
+	if n := under.Stats().Reads - base; n != 1 {
+		t.Fatalf("corrupt page re-read %d times; corruption is permanent", n)
+	}
+}
+
+func TestExponentialBackoff(t *testing.T) {
+	b := ExponentialBackoff(time.Millisecond, 8*time.Millisecond)
+	want := []time.Duration{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := b(i + 1); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}

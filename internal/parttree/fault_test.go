@@ -1,0 +1,60 @@
+package parttree
+
+import (
+	"errors"
+	"testing"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/pager"
+)
+
+// TestPartTreeSurfacesStorageFaults: the partition tree's block merges and
+// global rebuilds do a lot of page traffic; all of it must fail loudly,
+// not corrupt silently or panic.
+func TestPartTreeSurfacesStorageFaults(t *testing.T) {
+	pts := make([]Point, 400)
+	for i := range pts {
+		pts[i] = Point{X: float64((i * 37) % 100), Y: float64((i * 61) % 100), Val: uint64(i)}
+	}
+	// x <= 70 and -x <= -10, i.e. the vertical band 10 <= x <= 70.
+	region := geom.NewRegion(
+		geom.Constraint{A: 1, B: 0, C: 70},
+		geom.Constraint{A: -1, B: 0, C: -10},
+	)
+	for _, cfg := range []pager.FaultConfig{
+		{Seed: 1, Read: pager.OpFaults{FailEvery: 9}},
+		{Seed: 2, Write: pager.OpFaults{FailEvery: 9}},
+		{Seed: 3, Alloc: pager.OpFaults{FailEvery: 4}},
+		{Seed: 4, Free: pager.OpFaults{FailEvery: 3}},
+	} {
+		faulty := pager.NewFaultStore(pager.NewMemStore(256), cfg)
+		tr, err := New(faulty, Config{})
+		if err != nil {
+			if !errors.Is(err, pager.ErrInjected) {
+				t.Fatalf("cfg %+v: constructor error outside taxonomy: %v", cfg, err)
+			}
+			continue
+		}
+		var opErrs int
+		check := func(err error, op string) {
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, pager.ErrInjected) && !errors.Is(err, pager.ErrPageNotFound) {
+				t.Fatalf("cfg %+v: %s error outside taxonomy: %v", cfg, op, err)
+			}
+			opErrs++
+		}
+		for _, p := range pts {
+			check(tr.Insert(p), "insert")
+		}
+		check(tr.SearchRegion(region, func(Point) bool { return true }), "search")
+		for _, p := range pts[:80] {
+			_, err := tr.Delete(p)
+			check(err, "delete")
+		}
+		if faulty.Counters().Total() > 0 && opErrs == 0 {
+			t.Fatalf("cfg %+v: faults injected but no operation reported one", cfg)
+		}
+	}
+}

@@ -104,6 +104,64 @@ func NewBufferedStore(under Store, capacity int) *pager.Buffered {
 	return pager.NewBuffered(under, capacity)
 }
 
+// OpenFileStore reopens a file store previously written by NewFileStore
+// and synced (or cleanly closed), recovering the page allocator, free
+// list and user metadata from the checksummed meta page.
+func OpenFileStore(path string) (*pager.FileStore, error) {
+	return pager.OpenFileStore(path)
+}
+
+// Robustness layer: fault injection for testing, checksums against silent
+// corruption, bounded retry of transient failures. The recommended
+// composition over an untrusted device is, innermost first,
+//
+//	Buffered(Retry(Checksum(device)))
+//
+// — checksums detect what the device corrupts, retries absorb what is
+// transient, and the buffer caches only pages that verified.
+type (
+	// FaultConfig configures deterministic fault injection.
+	FaultConfig = pager.FaultConfig
+	// OpFaults sets the failure schedule for one operation class.
+	OpFaults = pager.OpFaults
+	// FaultCounters reports operations seen and faults injected.
+	FaultCounters = pager.FaultCounters
+	// RetryPolicy bounds the retry layer's attempts and backoff.
+	RetryPolicy = pager.RetryPolicy
+)
+
+// Typed failures of the robustness layer.
+var (
+	// ErrInjected marks an artificially injected fault.
+	ErrInjected = pager.ErrInjected
+	// ErrTransient marks a fault that may succeed if retried.
+	ErrTransient = pager.ErrTransient
+	// ErrPageCorrupt marks a page whose checksum did not verify.
+	ErrPageCorrupt = pager.ErrPageCorrupt
+)
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool { return pager.IsTransient(err) }
+
+// NewFaultStore wraps a store with deterministic, seeded fault injection —
+// the test harness for everything above it.
+func NewFaultStore(under Store, cfg FaultConfig) *pager.FaultStore {
+	return pager.NewFaultStore(under, cfg)
+}
+
+// NewChecksumStore wraps a store so every page carries a CRC-32C trailer;
+// reads of corrupted pages fail with ErrPageCorrupt instead of decoding
+// garbage. The wrapped store exposes a page size 4 bytes smaller.
+func NewChecksumStore(under Store) (*pager.ChecksumStore, error) {
+	return pager.NewChecksumStore(under)
+}
+
+// NewRetryStore wraps a store to retry transient faults (per IsTransient)
+// up to the policy's budget; permanent errors propagate immediately.
+func NewRetryStore(under Store, policy RetryPolicy) *pager.RetryStore {
+	return pager.NewRetryStore(under, policy)
+}
+
 // Record precision of the B+-tree based structures.
 const (
 	// WideRecords stores 8-byte keys (exact float64 round trips).

@@ -241,3 +241,102 @@ func TestKineticFacade(t *testing.T) {
 		t.Fatalf("found %d", found)
 	}
 }
+
+// The robustness facade: an index built through the full production stack
+// — Buffered(Retry(Checksum(Fault(mem)))) with transient faults — must
+// answer exactly as one built on a clean store.
+func TestPublicRobustnessStack(t *testing.T) {
+	motions := make([]Motion, 200)
+	for i := range motions {
+		v := 0.2 + 0.2*float64(i%7)
+		if i%2 == 1 {
+			v = -v
+		}
+		motions[i] = Motion{OID: OID(i + 1), Y0: float64((i * 137) % 1000), T0: 0, V: v}
+	}
+	q := Query{Y1: 200, Y2: 600, T1: 20, T2: 60}
+
+	build := func(store Store) []OID {
+		ix, err := NewDualBPlusIndex(store, DualBPlusConfig{Terrain: testTerrain, C: 4, Codec: WideRecords})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range motions {
+			if err := ix.Insert(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return collect(t, ix, q)
+	}
+
+	want := build(NewMemStore(512))
+	faulty := NewFaultStore(NewMemStore(512), FaultConfig{
+		Seed:      1,
+		Read:      OpFaults{FailProb: 0.1},
+		Write:     OpFaults{FailProb: 0.1},
+		Transient: true,
+	})
+	cs, err := NewChecksumStore(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := build(NewBufferedStore(NewRetryStore(cs, RetryPolicy{MaxAttempts: 16}), 4))
+	if len(got) != len(want) {
+		t.Fatalf("stacked store answered %d ids, clean store %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if faulty.Counters().Total() == 0 {
+		t.Fatal("no faults injected; test is vacuous")
+	}
+	if !IsTransient(ErrTransient) || IsTransient(ErrPageCorrupt) {
+		t.Fatal("IsTransient misclassifies the exported sentinels")
+	}
+}
+
+// A file store written through the public API must reopen with its pages
+// and user metadata intact.
+func TestPublicFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "smoke.mobidx")
+	fs, err := NewFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(p.Data, "hello, crash recovery")
+	if err := fs.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetUserMeta([]byte{0xAB, 0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.PageSize() != 256 {
+		t.Fatalf("page size not recovered: %d", re.PageSize())
+	}
+	um := re.UserMeta()
+	if len(um) < 2 || um[0] != 0xAB || um[1] != 0xCD {
+		t.Fatalf("user meta not recovered: %x", um)
+	}
+	rp, err := re.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rp.Data[:21]) != "hello, crash recovery" {
+		t.Fatalf("page content lost: %q", rp.Data[:21])
+	}
+}

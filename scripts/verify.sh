@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repo verification gate: formatting, vet, build, full tests, and the
+# pager robustness suite under the race detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (storage layer) =="
+go test -race ./internal/pager/...
+
+echo "verify: all checks passed"
