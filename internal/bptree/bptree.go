@@ -123,16 +123,22 @@ func New(store pager.Store, cfg Config) (*Tree, error) {
 	if t.leafCap < 4 || t.intCap < 4 {
 		return nil, fmt.Errorf("bptree: page size %d too small", store.PageSize())
 	}
-	p, err := store.Allocate()
+	err := pager.RunBatch(store, func() error {
+		p, err := store.Allocate()
+		if err != nil {
+			return err
+		}
+		root := &node{id: p.ID, leaf: true}
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.root = p.ID
+		t.height = 1
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	root := &node{id: p.ID, leaf: true}
-	if err := t.writeNode(root); err != nil {
-		return nil, err
-	}
-	t.root = p.ID
-	t.height = 1
 	return t, nil
 }
 
@@ -392,7 +398,17 @@ func lowerBound(es []Entry, k float64, v uint64) int {
 
 // Insert adds an entry. Duplicate keys are allowed; the (key, val) pair
 // need not be unique either (exact duplicates sit adjacent).
+//
+// On a store that supports atomic batches (pager.Batcher, e.g. a
+// WALStore) the insert — including any cascade of leaf and internal
+// splits — commits as one batch: a crash mid-split leaves no trace. On a
+// failed mutation the store is rolled back, but the in-memory Tree may be
+// stale; reopen it from the store (Attach) before further use.
 func (t *Tree) Insert(e Entry) error {
+	return pager.RunBatch(t.store, func() error { return t.insert(e) })
+}
+
+func (t *Tree) insert(e Entry) error {
 	e.Key = t.codec.roundKey(e.Key)
 	e.Aux = t.codec.roundKey(e.Aux)
 	sepKey, sepVal, sepChild, err := t.insertAt(t.root, e, t.height)
@@ -500,6 +516,10 @@ func (t *Tree) BulkLoad(entries []Entry, fill float64) error {
 	if fill <= 0 || fill > 1 {
 		return fmt.Errorf("bptree: fill fraction %v outside (0, 1]", fill)
 	}
+	return pager.RunBatch(t.store, func() error { return t.bulkLoad(entries, fill) })
+}
+
+func (t *Tree) bulkLoad(entries []Entry, fill float64) error {
 	if err := t.destroy(t.root, t.height); err != nil {
 		return err
 	}
@@ -636,8 +656,14 @@ var ErrNotFound = errors.New("bptree: entry not found")
 
 // Delete removes one entry with the given key and value in a single
 // root-to-leaf descent (composite ordering makes the position unique even
-// among massive duplicate-key runs).
+// among massive duplicate-key runs). Like Insert, the whole operation —
+// deletion plus any rebalances and root collapses — is one atomic batch
+// on a batching store.
 func (t *Tree) Delete(key float64, val uint64) error {
+	return pager.RunBatch(t.store, func() error { return t.deleteOne(key, val) })
+}
+
+func (t *Tree) deleteOne(key float64, val uint64) error {
 	key = t.codec.roundKey(key)
 	deleted, _, err := t.deleteAt(t.root, key, val, t.height)
 	if err != nil {
@@ -910,9 +936,10 @@ func (t *Tree) Min() (Entry, bool, error) {
 	return Entry{}, false, nil
 }
 
-// Destroy frees every page of the tree; the tree must not be used after.
+// Destroy frees every page of the tree, atomically on a batching store;
+// the tree must not be used after.
 func (t *Tree) Destroy() error {
-	return t.destroy(t.root, t.height)
+	return pager.RunBatch(t.store, func() error { return t.destroy(t.root, t.height) })
 }
 
 func (t *Tree) destroy(id pager.PageID, height int) error {

@@ -218,7 +218,17 @@ func Build(store pager.Store, objs []Object, tStart, horizon float64) (*Structur
 
 	tracker := &allocTracker{Store: store}
 	bd.store = tracker
-	versions, height, err := bd.buildTree(init, changes)
+	// The whole build is one atomic batch on a batching store: a crash
+	// mid-build leaves no partially-built structure behind.
+	var (
+		versions *bptree.Tree
+		height   int
+	)
+	err := pager.RunBatch(store, func() error {
+		var err error
+		versions, height, err = bd.buildTree(init, changes)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +257,54 @@ func (a *allocTracker) Allocate() (*pager.Page, error) {
 		a.ids = append(a.ids, p.ID)
 	}
 	return p, err
+}
+
+// Meta captures the position and shape of a Structure inside its store, so
+// it can be reattached with Reopen after the store is reopened (e.g. after
+// crash recovery of a write-ahead-logged store).
+type Meta struct {
+	Versions     bptree.Meta // the root-version index tree
+	Height       int
+	TStart, TEnd float64
+	N, M         int
+	Pages        []pager.PageID // every page of the structure, for Destroy
+}
+
+// Meta returns the structure's persistence metadata. Valid until the
+// structure is destroyed.
+func (s *Structure) Meta() Meta {
+	return Meta{
+		Versions: s.versions.Meta(),
+		Height:   s.height,
+		TStart:   s.tStart,
+		TEnd:     s.tEnd,
+		N:        s.n,
+		M:        s.m,
+		Pages:    append([]pager.PageID(nil), s.pages...),
+	}
+}
+
+// Reopen reattaches a Structure previously built in store (same page size)
+// from its Meta. The pages are trusted as far as a Build's would be; a
+// corrupt store surfaces as typed read/decode errors on access.
+func Reopen(store pager.Store, m Meta) (*Structure, error) {
+	if m.Height < 0 || m.N < 0 || m.M < 0 || m.TEnd < m.TStart {
+		return nil, fmt.Errorf("kinetic: implausible meta %+v", m)
+	}
+	vt, err := bptree.Attach(store, bptree.Config{Codec: bptree.Wide}, m.Versions)
+	if err != nil {
+		return nil, fmt.Errorf("kinetic: reopen versions: %w", err)
+	}
+	return &Structure{
+		bd:       newBuilder(store),
+		versions: vt,
+		height:   m.Height,
+		tStart:   m.TStart,
+		tEnd:     m.TEnd,
+		n:        m.N,
+		m:        m.M,
+		pages:    append([]pager.PageID(nil), m.Pages...),
+	}, nil
 }
 
 // N returns the number of objects captured at build time.
@@ -472,12 +530,25 @@ func (s *Structure) Validate(samples int) error {
 	return nil
 }
 
-// Destroy frees every page the structure occupies.
+// Destroy frees every page the structure occupies, atomically on a
+// batching store.
 func (s *Structure) Destroy() error {
-	for _, id := range s.pages {
-		if err := s.bd.store.Free(id); err != nil {
-			return err
+	// s.bd.store is the build's allocTracker; unwrap to reach the batch
+	// support of the store beneath it.
+	var under pager.Store = s.bd.store
+	if tr, ok := under.(*allocTracker); ok {
+		under = tr.Store
+	}
+	err := pager.RunBatch(under, func() error {
+		for _, id := range s.pages {
+			if err := s.bd.store.Free(id); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	s.pages = nil
 	return nil

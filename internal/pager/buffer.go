@@ -120,3 +120,31 @@ func (b *Buffered) Stats() Stats { return b.under.Stats() }
 
 // PagesInUse implements Store.
 func (b *Buffered) PagesInUse() int { return b.under.PagesInUse() }
+
+// Begin forwards Batcher so batched indexes work through a buffer pool
+// (Buffered is write-through, so the pool never hides a staged write from
+// the store below).
+func (b *Buffered) Begin() error {
+	if t, ok := b.under.(Batcher); ok {
+		return t.Begin()
+	}
+	return nil
+}
+
+// Commit forwards Batcher.
+func (b *Buffered) Commit() error {
+	if t, ok := b.under.(Batcher); ok {
+		return t.Commit()
+	}
+	return nil
+}
+
+// Rollback forwards Batcher, dropping the pool: cached copies of the
+// batch's pages are stale once the store below undoes them.
+func (b *Buffered) Rollback() error {
+	b.Clear()
+	if t, ok := b.under.(Batcher); ok {
+		return t.Rollback()
+	}
+	return nil
+}

@@ -114,3 +114,29 @@ func (c *ChecksumStore) Stats() Stats { return c.under.Stats() }
 
 // PagesInUse implements Store.
 func (c *ChecksumStore) PagesInUse() int { return c.under.PagesInUse() }
+
+// Sync forwards to the underlying store's durability point, if any.
+func (c *ChecksumStore) Sync() error {
+	if s, ok := c.under.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Adopt forwards Adopter so WAL recovery works through a ChecksumStore.
+func (c *ChecksumStore) Adopt(id PageID) error {
+	a, ok := c.under.(Adopter)
+	if !ok {
+		return fmt.Errorf("pager: %T does not support adopt", c.under)
+	}
+	return a.Adopt(id)
+}
+
+// Disown forwards Adopter.
+func (c *ChecksumStore) Disown(id PageID) error {
+	a, ok := c.under.(Adopter)
+	if !ok {
+		return fmt.Errorf("pager: %T does not support disown", c.under)
+	}
+	return a.Disown(id)
+}

@@ -237,3 +237,31 @@ func (f *FaultStore) Stats() Stats { return f.under.Stats() }
 
 // PagesInUse implements Store.
 func (f *FaultStore) PagesInUse() int { return f.under.PagesInUse() }
+
+// Sync forwards to the underlying store's durability point, if any. Faults
+// are not injected on Sync — per-operation injection already covers the
+// write path.
+func (f *FaultStore) Sync() error {
+	if s, ok := f.under.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Adopt forwards Adopter so WAL recovery works through a FaultStore.
+func (f *FaultStore) Adopt(id PageID) error {
+	a, ok := f.under.(Adopter)
+	if !ok {
+		return fmt.Errorf("pager: %T does not support adopt", f.under)
+	}
+	return a.Adopt(id)
+}
+
+// Disown forwards Adopter.
+func (f *FaultStore) Disown(id PageID) error {
+	a, ok := f.under.(Adopter)
+	if !ok {
+		return fmt.Errorf("pager: %T does not support disown", f.under)
+	}
+	return a.Disown(id)
+}

@@ -77,6 +77,17 @@ type Store interface {
 // ErrPageNotFound is returned when reading an unallocated or freed page.
 var ErrPageNotFound = errors.New("pager: page not found")
 
+// ErrDoubleFree is returned by Free of a page that is already on the free
+// list. Silently accepting it would list the id twice and hand the same
+// page to two future allocations.
+var ErrDoubleFree = errors.New("pager: page already free")
+
+// ErrReservedPage is returned by operations targeting a page the store
+// reserves for its own bookkeeping: page 0 (FileStore's meta slot and the
+// universal nil id), a free-list overflow chain page, or a WALStore's
+// watermark page.
+var ErrReservedPage = errors.New("pager: reserved page")
+
 // MemStore is an in-memory Store. It is the default substrate for
 // experiments: I/Os are counted, not performed, exactly as needed to
 // reproduce the paper's I/O-count metrics at modern speeds.
@@ -152,16 +163,78 @@ func (m *MemStore) Write(p *Page) error {
 	return nil
 }
 
-// Free implements Store.
+// Free implements Store. Freeing page 0 returns ErrReservedPage; freeing
+// a page already on the free list returns ErrDoubleFree.
 func (m *MemStore) Free(id PageID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if id == 0 {
+		return fmt.Errorf("%w: free page 0", ErrReservedPage)
+	}
 	if _, ok := m.pages[id]; !ok {
+		for _, f := range m.free {
+			if f == id {
+				return fmt.Errorf("%w: %d", ErrDoubleFree, id)
+			}
+		}
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
 	delete(m.pages, id)
 	m.free = append(m.free, id)
 	m.stats.Frees++
+	return nil
+}
+
+// Adopt implements Adopter: it forces page id live, whether it is
+// currently free, never allocated (id must be the next unallocated id), or
+// already live (a no-op). WAL recovery uses it to replay logged
+// allocations idempotently; page contents are unspecified until written.
+func (m *MemStore) Adopt(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == 0 {
+		return fmt.Errorf("%w: adopt page 0", ErrReservedPage)
+	}
+	if _, live := m.pages[id]; live {
+		return nil
+	}
+	if id < m.next {
+		for i, f := range m.free {
+			if f == id {
+				m.free = append(m.free[:i], m.free[i+1:]...)
+				m.pages[id] = make([]byte, m.pageSize)
+				return nil
+			}
+		}
+		return fmt.Errorf("pager: adopt page %d: neither live nor free", id)
+	}
+	if id != m.next {
+		return fmt.Errorf("pager: adopt page %d skips ids (next is %d)", id, m.next)
+	}
+	m.next++
+	m.pages[id] = make([]byte, m.pageSize)
+	return nil
+}
+
+// Disown implements Adopter: it forces page id onto the free list; a page
+// already free is a no-op. WAL recovery uses it to replay logged frees
+// idempotently.
+func (m *MemStore) Disown(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == 0 {
+		return fmt.Errorf("%w: disown page 0", ErrReservedPage)
+	}
+	if _, live := m.pages[id]; !live {
+		for _, f := range m.free {
+			if f == id {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: disown %d", ErrPageNotFound, id)
+	}
+	delete(m.pages, id)
+	m.free = append(m.free, id)
 	return nil
 }
 
@@ -596,19 +669,102 @@ func (fs *FileStore) Write(p *Page) error {
 	return nil
 }
 
-// Free implements Store.
+// Free implements Store. Freeing the meta page (slot 0) or an overflow
+// chain page returns ErrReservedPage; freeing a page already on the free
+// list returns ErrDoubleFree. Either would corrupt the free list —
+// duplicate ids hand one page to two allocations.
 func (fs *FileStore) Free(id PageID) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.closed {
 		return ErrStoreClosed
 	}
+	if id == 0 {
+		return fmt.Errorf("%w: free meta page", ErrReservedPage)
+	}
 	if _, ok := fs.live[id]; !ok {
+		for _, f := range fs.free {
+			if f == id {
+				return fmt.Errorf("%w: %d", ErrDoubleFree, id)
+			}
+		}
+		for _, p := range fs.ovPages {
+			if p == id {
+				return fmt.Errorf("%w: free overflow chain page %d", ErrReservedPage, id)
+			}
+		}
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
 	delete(fs.live, id)
 	fs.free = append(fs.free, id)
 	fs.stats.Frees++
+	return nil
+}
+
+// Adopt implements Adopter (see MemStore.Adopt): WAL recovery forces page
+// id live. Adopting an overflow chain page is refused — the on-disk meta
+// still references it, so a log asking for it has diverged from this file.
+func (fs *FileStore) Adopt(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	if id == 0 {
+		return fmt.Errorf("%w: adopt meta page", ErrReservedPage)
+	}
+	if _, live := fs.live[id]; live {
+		return nil
+	}
+	if id < fs.next {
+		for i, f := range fs.free {
+			if f == id {
+				fs.free = append(fs.free[:i], fs.free[i+1:]...)
+				fs.live[id] = struct{}{}
+				return fs.zeroSlot(id)
+			}
+		}
+		return fmt.Errorf("pager: adopt page %d: neither live nor free", id)
+	}
+	if id != fs.next {
+		return fmt.Errorf("pager: adopt page %d skips ids (next is %d)", id, fs.next)
+	}
+	fs.next++
+	fs.live[id] = struct{}{}
+	return fs.zeroSlot(id)
+}
+
+// zeroSlot clears a page's file bytes. A newly adopted page must read as
+// zeroes (like a fresh allocation), but the file slot may hold bytes from
+// the page's previous life.
+func (fs *FileStore) zeroSlot(id PageID) error {
+	if _, err := fs.f.WriteAt(make([]byte, fs.pageSize), fs.offset(id)); err != nil {
+		return fmt.Errorf("pager: zero page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Disown implements Adopter (see MemStore.Disown): WAL recovery forces
+// page id free.
+func (fs *FileStore) Disown(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	if id == 0 {
+		return fmt.Errorf("%w: disown meta page", ErrReservedPage)
+	}
+	if _, live := fs.live[id]; !live {
+		for _, f := range fs.free {
+			if f == id {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: disown %d", ErrPageNotFound, id)
+	}
+	delete(fs.live, id)
+	fs.free = append(fs.free, id)
 	return nil
 }
 

@@ -2,6 +2,8 @@ package pager
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -15,6 +17,19 @@ type RetryPolicy struct {
 	// attempt (1-based). Nil means retry immediately — the right choice for
 	// tests and for in-memory substrates.
 	Backoff func(attempt int) time.Duration
+	// Jitter spreads each backoff uniformly over [d·(1−Jitter), d·(1+Jitter)]
+	// so retries from concurrent operations decorrelate instead of
+	// hammering the substrate in lockstep. Zero disables jitter; values are
+	// clamped to [0, 1].
+	Jitter float64
+	// Seed makes the jitter sequence deterministic for tests. Zero selects
+	// a fixed default seed (the store stays deterministic either way).
+	Seed int64
+	// MaxElapsed caps the total time an operation may spend across
+	// attempts and backoff sleeps. A retry whose sleep would cross the cap
+	// gives up immediately with the last error. Zero means no time cap —
+	// only MaxAttempts bounds the operation.
+	MaxElapsed time.Duration
 }
 
 // ExponentialBackoff returns a backoff function starting at base and
@@ -29,16 +44,45 @@ func ExponentialBackoff(base, max time.Duration) func(int) time.Duration {
 	}
 }
 
+// OpRetryStats counts one operation class's retry traffic.
+type OpRetryStats struct {
+	Ops     int64 // operations attempted (first tries)
+	Retries int64 // extra attempts after a transient failure
+	GaveUps int64 // operations that exhausted attempts or the time cap
+}
+
+// RetryCounters breaks retry traffic down by operation class, so a sweep
+// can see *where* transients bite (e.g. a read-heavy query phase versus an
+// allocation-heavy build).
+type RetryCounters struct {
+	Read  OpRetryStats
+	Write OpRetryStats
+	Alloc OpRetryStats
+	Free  OpRetryStats
+}
+
+// Op classes for the per-class counters.
+const (
+	opRead = iota
+	opWrite
+	opAlloc
+	opFree
+	opClasses
+)
+
 // RetryStore wraps a Store and retries operations that fail with a
-// transient fault (IsTransient) up to the policy's attempt bound, then
-// propagates the last error. Permanent errors — ErrPageNotFound,
-// ErrPageCorrupt, real I/O failures — propagate immediately: retrying
-// cannot fix them, and hiding them would mask bugs.
+// transient fault (IsTransient) up to the policy's attempt bound and
+// elapsed-time cap, then propagates the last error. Permanent errors —
+// ErrPageNotFound, ErrPageCorrupt, real I/O failures — propagate
+// immediately: retrying cannot fix them, and hiding them would mask bugs.
 type RetryStore struct {
 	under   Store
 	policy  RetryPolicy
 	retries atomic.Int64
 	gaveUps atomic.Int64
+	perOp   [opClasses]struct{ ops, retries, gaveUps atomic.Int64 }
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
 
 // NewRetryStore wraps under with the given policy.
@@ -46,17 +90,64 @@ func NewRetryStore(under Store, policy RetryPolicy) *RetryStore {
 	if policy.MaxAttempts <= 0 {
 		policy.MaxAttempts = 4
 	}
-	return &RetryStore{under: under, policy: policy}
+	if policy.Jitter < 0 {
+		policy.Jitter = 0
+	}
+	if policy.Jitter > 1 {
+		policy.Jitter = 1
+	}
+	seed := policy.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &RetryStore{under: under, policy: policy, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Retries returns the number of retried attempts so far.
+// Retries returns the number of retried attempts so far, all classes.
 func (r *RetryStore) Retries() int64 { return r.retries.Load() }
 
 // GaveUps returns the number of operations that exhausted all attempts.
 func (r *RetryStore) GaveUps() int64 { return r.gaveUps.Load() }
 
-// do runs op under the retry policy.
-func (r *RetryStore) do(op func() error) error {
+// Counters returns a snapshot of the per-class retry statistics.
+func (r *RetryStore) Counters() RetryCounters {
+	get := func(i int) OpRetryStats {
+		return OpRetryStats{
+			Ops:     r.perOp[i].ops.Load(),
+			Retries: r.perOp[i].retries.Load(),
+			GaveUps: r.perOp[i].gaveUps.Load(),
+		}
+	}
+	return RetryCounters{Read: get(opRead), Write: get(opWrite), Alloc: get(opAlloc), Free: get(opFree)}
+}
+
+// backoffFor returns the (jittered) sleep before retry number attempt.
+func (r *RetryStore) backoffFor(attempt int) time.Duration {
+	if r.policy.Backoff == nil {
+		return 0
+	}
+	d := r.policy.Backoff(attempt)
+	if d <= 0 || r.policy.Jitter == 0 {
+		return d
+	}
+	r.rngMu.Lock()
+	u := r.rng.Float64() // uniform [0, 1)
+	r.rngMu.Unlock()
+	// Scale into [1−Jitter, 1+Jitter).
+	scaled := float64(d) * (1 - r.policy.Jitter + 2*r.policy.Jitter*u)
+	if scaled < 0 {
+		return 0
+	}
+	return time.Duration(scaled)
+}
+
+// do runs op under the retry policy, charging the given counter class.
+func (r *RetryStore) do(class int, op func() error) error {
+	r.perOp[class].ops.Add(1)
+	start := time.Time{}
+	if r.policy.MaxElapsed > 0 {
+		start = time.Now()
+	}
 	var err error
 	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
 		if err = op(); err == nil || !IsTransient(err) {
@@ -65,12 +156,20 @@ func (r *RetryStore) do(op func() error) error {
 		if attempt == r.policy.MaxAttempts {
 			break
 		}
+		sleep := r.backoffFor(attempt)
+		if r.policy.MaxElapsed > 0 && time.Since(start)+sleep >= r.policy.MaxElapsed {
+			r.gaveUps.Add(1)
+			r.perOp[class].gaveUps.Add(1)
+			return fmt.Errorf("pager: gave up after %v elapsed (%d attempts): %w", r.policy.MaxElapsed, attempt, err)
+		}
 		r.retries.Add(1)
-		if r.policy.Backoff != nil {
-			time.Sleep(r.policy.Backoff(attempt))
+		r.perOp[class].retries.Add(1)
+		if sleep > 0 {
+			time.Sleep(sleep)
 		}
 	}
 	r.gaveUps.Add(1)
+	r.perOp[class].gaveUps.Add(1)
 	return fmt.Errorf("pager: gave up after %d attempts: %w", r.policy.MaxAttempts, err)
 }
 
@@ -80,7 +179,7 @@ func (r *RetryStore) PageSize() int { return r.under.PageSize() }
 // Allocate implements Store.
 func (r *RetryStore) Allocate() (*Page, error) {
 	var p *Page
-	err := r.do(func() error {
+	err := r.do(opAlloc, func() error {
 		var e error
 		p, e = r.under.Allocate()
 		return e
@@ -91,7 +190,7 @@ func (r *RetryStore) Allocate() (*Page, error) {
 // Read implements Store.
 func (r *RetryStore) Read(id PageID) (*Page, error) {
 	var p *Page
-	err := r.do(func() error {
+	err := r.do(opRead, func() error {
 		var e error
 		p, e = r.under.Read(id)
 		return e
@@ -101,12 +200,12 @@ func (r *RetryStore) Read(id PageID) (*Page, error) {
 
 // Write implements Store.
 func (r *RetryStore) Write(p *Page) error {
-	return r.do(func() error { return r.under.Write(p) })
+	return r.do(opWrite, func() error { return r.under.Write(p) })
 }
 
 // Free implements Store.
 func (r *RetryStore) Free(id PageID) error {
-	return r.do(func() error { return r.under.Free(id) })
+	return r.do(opFree, func() error { return r.under.Free(id) })
 }
 
 // Stats implements Store.
@@ -114,3 +213,32 @@ func (r *RetryStore) Stats() Stats { return r.under.Stats() }
 
 // PagesInUse implements Store.
 func (r *RetryStore) PagesInUse() int { return r.under.PagesInUse() }
+
+// Sync forwards to the underlying store's durability point, if any. It is
+// not retried: a failed sync leaves the durable state unknown, which the
+// caller must see.
+func (r *RetryStore) Sync() error {
+	s, ok := r.under.(Syncer)
+	if !ok {
+		return nil
+	}
+	return s.Sync()
+}
+
+// Adopt forwards Adopter so WAL recovery works through a RetryStore.
+func (r *RetryStore) Adopt(id PageID) error {
+	a, ok := r.under.(Adopter)
+	if !ok {
+		return fmt.Errorf("pager: %T does not support adopt", r.under)
+	}
+	return a.Adopt(id)
+}
+
+// Disown forwards Adopter.
+func (r *RetryStore) Disown(id PageID) error {
+	a, ok := r.under.(Adopter)
+	if !ok {
+		return fmt.Errorf("pager: %T does not support disown", r.under)
+	}
+	return a.Disown(id)
+}

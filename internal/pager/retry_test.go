@@ -106,6 +106,133 @@ func TestRetryDoesNotRetryCorruption(t *testing.T) {
 	}
 }
 
+func TestRetryJitterBoundsAndDeterminism(t *testing.T) {
+	const base = time.Millisecond
+	mk := func(seed int64) *RetryStore {
+		return NewRetryStore(NewMemStore(128), RetryPolicy{
+			Backoff: func(int) time.Duration { return base },
+			Jitter:  0.5,
+			Seed:    seed,
+		})
+	}
+	a, b := mk(42), mk(42)
+	lo, hi := time.Duration(float64(base)*0.5), time.Duration(float64(base)*1.5)
+	seen := make(map[time.Duration]struct{})
+	for i := 1; i <= 64; i++ {
+		da, db := a.backoffFor(i), b.backoffFor(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < lo || da >= hi {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", i, da, lo, hi)
+		}
+		seen[da] = struct{}{}
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced a constant backoff")
+	}
+	// Jitter without a backoff function stays immediate, and out-of-range
+	// jitter values are clamped rather than rejected.
+	if d := NewRetryStore(NewMemStore(128), RetryPolicy{Jitter: 0.5}).backoffFor(1); d != 0 {
+		t.Fatalf("jitter with nil backoff slept %v", d)
+	}
+	clamped := NewRetryStore(NewMemStore(128), RetryPolicy{
+		Backoff: func(int) time.Duration { return base },
+		Jitter:  7,
+	})
+	for i := 1; i <= 32; i++ {
+		if d := clamped.backoffFor(i); d < 0 || d >= 2*base {
+			t.Fatalf("clamped jitter produced %v outside [0, %v)", d, 2*base)
+		}
+	}
+}
+
+func TestRetryMaxElapsedGivesUp(t *testing.T) {
+	faulty := NewFaultStore(NewMemStore(128), FaultConfig{
+		Write:     OpFaults{FailEvery: 1},
+		Transient: true,
+	})
+	rs := NewRetryStore(faulty, RetryPolicy{
+		MaxAttempts: 1000,
+		Backoff:     func(int) time.Duration { return 250 * time.Millisecond },
+		MaxElapsed:  10 * time.Millisecond,
+	})
+	p, err := rs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	werr := rs.Write(p)
+	elapsed := time.Since(start)
+	if werr == nil || !IsTransient(werr) {
+		t.Fatalf("got %v", werr)
+	}
+	// The sleep that would cross the cap is never taken: the store gives
+	// up before it, so the operation returns well under one backoff.
+	if elapsed >= 250*time.Millisecond {
+		t.Fatalf("gave up only after %v; the cap must pre-empt the sleep", elapsed)
+	}
+	if got := faulty.Counters().Writes; got >= 1000 {
+		t.Fatalf("%d attempts; MaxElapsed never bit", got)
+	}
+	if rs.GaveUps() != 1 {
+		t.Fatalf("GaveUps = %d, want 1", rs.GaveUps())
+	}
+	c := rs.Counters()
+	if c.Write.GaveUps != 1 || c.Write.Ops != 1 {
+		t.Fatalf("write class counters = %+v", c.Write)
+	}
+}
+
+func TestRetryPerClassCounters(t *testing.T) {
+	faulty := NewFaultStore(NewMemStore(128), FaultConfig{
+		Seed:      5,
+		Read:      OpFaults{FailEvery: 2},
+		Write:     OpFaults{FailEvery: 3},
+		Alloc:     OpFaults{FailEvery: 2},
+		Free:      OpFaults{FailEvery: 2},
+		Transient: true,
+	})
+	rs := NewRetryStore(faulty, RetryPolicy{MaxAttempts: 8})
+	var pages []PageID
+	for i := 0; i < 6; i++ {
+		p, err := rs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rs.Read(p.ID); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p.ID)
+	}
+	for _, id := range pages[:3] {
+		if err := rs.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := rs.Counters()
+	if c.Alloc.Ops != 6 || c.Write.Ops != 6 || c.Read.Ops != 6 || c.Free.Ops != 3 {
+		t.Fatalf("op counts = %+v", c)
+	}
+	for name, s := range map[string]OpRetryStats{
+		"read": c.Read, "write": c.Write, "alloc": c.Alloc, "free": c.Free,
+	} {
+		if s.Retries == 0 {
+			t.Fatalf("%s: no retries counted under FailEvery faults (%+v)", name, s)
+		}
+		if s.GaveUps != 0 {
+			t.Fatalf("%s: %d give-ups with 8 attempts", name, s.GaveUps)
+		}
+	}
+	total := c.Read.Retries + c.Write.Retries + c.Alloc.Retries + c.Free.Retries
+	if total != rs.Retries() {
+		t.Fatalf("per-class retries sum to %d, aggregate says %d", total, rs.Retries())
+	}
+}
+
 func TestExponentialBackoff(t *testing.T) {
 	b := ExponentialBackoff(time.Millisecond, 8*time.Millisecond)
 	want := []time.Duration{1, 2, 4, 8, 8, 8}

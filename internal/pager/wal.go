@@ -1,0 +1,1223 @@
+// Write-ahead logging. A WALStore wraps any Store with an append-only,
+// checksummed log so that a group of page operations — a B+-tree split, a
+// kinetic build, any multi-page rebalance — commits atomically: after a
+// crash at ANY write or sync boundary, recovery yields a store in which
+// every committed batch is fully present and no uncommitted write is
+// visible.
+//
+// # Log layout
+//
+// The log is a LogFile: a 24-byte header followed by records.
+//
+//	header:  magic "MOBIDXL1" | version u32 | page size u32 |
+//	         meta page id u32 | CRC-32C of the first 20 bytes
+//	record:  body length u32 | body | CRC-32C(body) u32
+//	body:    LSN u64 | type u8 | payload
+//
+// Record types and payloads:
+//
+//	alloc  (1): page id u32
+//	write  (2): page id u32 | page image (PageSize bytes)
+//	free   (3): page id u32
+//	commit (4): batch sequence number u64 | record count u32
+//
+// LSNs are assigned sequentially over the store's lifetime and are strictly
+// consecutive within the log. Every record carries its own CRC-32C, so a
+// torn append is detected and truncated at recovery; a batch is durable
+// exactly when its commit record (and everything before it) verifies.
+//
+// # Commit protocol
+//
+// Begin opens a batch (reentrant: nested Begin/Commit pairs join the
+// outermost batch). Inside a batch, Allocate delegates to the base store
+// immediately (so page ids are assigned at once), while Write and Free are
+// staged in memory. Commit appends the batch's records — allocs in
+// allocation order, then final page images, then frees — followed by a
+// commit record, syncs the log, and only then applies the batch to the
+// volatile state: page images enter the in-memory page table, frees reach
+// the base allocator. Rollback undoes the batch's base allocations (in
+// reverse order) and discards the staged state. A failed commit append
+// truncates the log back to the batch's start so the tail stays clean.
+//
+// # Checkpoint
+//
+// Checkpoint bounds the log: it writes every page image in the table to the
+// base store, syncs the base (persisting the base allocator — FileStore's
+// meta page — together with the data), then records the applied watermark
+// (LSN + batch sequence) in a reserved WAL-meta page of the base store,
+// syncs again, and truncates the log to its header. The watermark is
+// written only after the allocator sync, so the durable base allocator is
+// never behind the durable watermark.
+//
+// # Recovery
+//
+// OpenWALStore on a non-empty log verifies the header, reads the watermark
+// from the WAL-meta page, scans the log verifying every record's CRC and
+// LSN continuity, truncates the torn tail (records after the last commit
+// record, or after the first framing break), and replays every committed
+// batch with LSN beyond the watermark: allocs re-adopt their page ids,
+// page images are staged into the table, frees are re-applied. Replay uses
+// forcing semantics (Adopter) — an adopt of an already-live page or a
+// disown of an already-free page is a no-op — so recovery is idempotent
+// and tolerates a base store that crashed ahead of the watermark (e.g.
+// mid-checkpoint). A corrupt WAL-meta page degrades to a full replay from
+// LSN zero, which the same forcing semantics make safe.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Typed failures of the write-ahead log layer.
+var (
+	// ErrWALCorrupt marks a log whose header, record framing, or mid-log
+	// record checksum does not verify. A torn *tail* is not corruption —
+	// recovery truncates it silently, as a crash mid-append leaves exactly
+	// that.
+	ErrWALCorrupt = errors.New("pager: wal corrupt")
+	// ErrWALReplay marks a recovery whose log disagrees with the base
+	// store (an adopt or free that cannot apply): the pair was not
+	// produced by this WAL protocol.
+	ErrWALReplay = errors.New("pager: wal replay diverged")
+	// ErrBatchOpen is returned by operations that require no open batch.
+	ErrBatchOpen = errors.New("pager: batch open")
+	// ErrNoBatch is returned by Commit/Rollback without a Begin.
+	ErrNoBatch = errors.New("pager: no open batch")
+	// ErrBatchAborted is returned by the outermost Commit after a nested
+	// Rollback poisoned the batch.
+	ErrBatchAborted = errors.New("pager: batch aborted")
+	// ErrStoreFailed marks a WALStore whose volatile state diverged from
+	// its log (a post-commit apply failed); the store refuses further
+	// writes. Reopening the store replays the log and recovers.
+	ErrStoreFailed = errors.New("pager: store failed, reopen to recover")
+)
+
+// LogFile is the append-only device a WALStore logs to. MemLog and FileLog
+// implement it; tests substitute crash-simulating implementations.
+type LogFile interface {
+	io.ReaderAt
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	// Append writes b at the current end.
+	Append(b []byte) error
+	// Truncate discards everything at and after offset size.
+	Truncate(size int64) error
+	// Sync makes every completed Append and Truncate durable.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}
+
+// MemLog is an in-memory LogFile, for tests and volatile stores.
+type MemLog struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// NewMemLogFrom returns an in-memory log holding a copy of the given
+// image, for replaying captured (or deliberately corrupted) logs.
+func NewMemLogFrom(img []byte) *MemLog {
+	return &MemLog{buf: append([]byte(nil), img...)}
+}
+
+// Bytes returns a copy of the log's current contents.
+func (m *MemLog) Bytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.buf...)
+}
+
+// ReadAt implements io.ReaderAt.
+func (m *MemLog) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off > int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Size implements LogFile.
+func (m *MemLog) Size() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.buf)), nil
+}
+
+// Append implements LogFile.
+func (m *MemLog) Append(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = append(m.buf, b...)
+	return nil
+}
+
+// Truncate implements LogFile.
+func (m *MemLog) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < 0 || size > int64(len(m.buf)) {
+		return fmt.Errorf("pager: memlog truncate to %d of %d", size, len(m.buf))
+	}
+	m.buf = m.buf[:size]
+	return nil
+}
+
+// Sync implements LogFile (memory is always "durable").
+func (m *MemLog) Sync() error { return nil }
+
+// Close implements LogFile.
+func (m *MemLog) Close() error { return nil }
+
+// FileLog is a LogFile backed by a real file.
+type FileLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenFileLog opens (creating if absent, never truncating) the log file at
+// path.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open log %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat log %s: %w", path, err)
+	}
+	return &FileLog{f: f, size: st.Size()}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (l *FileLog) ReadAt(p []byte, off int64) (int, error) { return l.f.ReadAt(p, off) }
+
+// Size implements LogFile.
+func (l *FileLog) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size, nil
+}
+
+// Append implements LogFile.
+func (l *FileLog) Append(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.WriteAt(b, l.size); err != nil {
+		return fmt.Errorf("pager: log append: %w", err)
+	}
+	l.size += int64(len(b))
+	return nil
+}
+
+// Truncate implements LogFile.
+func (l *FileLog) Truncate(size int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(size); err != nil {
+		return fmt.Errorf("pager: log truncate: %w", err)
+	}
+	l.size = size
+	return nil
+}
+
+// Sync implements LogFile.
+func (l *FileLog) Sync() error { return l.f.Sync() }
+
+// Close implements LogFile.
+func (l *FileLog) Close() error { return l.f.Close() }
+
+// Syncer is implemented by stores with an explicit durability point
+// (FileStore; wrappers forward it). A store without Sync is treated as
+// always-durable.
+type Syncer interface{ Sync() error }
+
+// Adopter is implemented by stores whose allocator state WAL recovery can
+// force: Adopt makes a specific page id live, Disown returns it to the
+// free list. Both are no-ops when the page is already in the target state,
+// which makes log replay idempotent. MemStore and FileStore implement it;
+// ChecksumStore, FaultStore, RetryStore and Buffered forward it.
+type Adopter interface {
+	// Adopt makes id live. The page's contents are unspecified until
+	// written.
+	Adopt(id PageID) error
+	// Disown makes id free.
+	Disown(id PageID) error
+}
+
+// Batcher is implemented by stores that group operations into atomic
+// batches. See RunBatch.
+type Batcher interface {
+	Begin() error
+	Commit() error
+	Rollback() error
+}
+
+// RunBatch runs fn inside an atomic batch when the store supports one
+// (WALStore), so a multi-page mutation — a tree split, a bulk load —
+// either commits whole or leaves no trace. On stores without batching it
+// just runs fn. When fn fails the batch is rolled back and fn's error is
+// returned (joined with the rollback's own error, if any).
+func RunBatch(s Store, fn func() error) error {
+	b, ok := s.(Batcher)
+	if !ok {
+		return fn()
+	}
+	if err := b.Begin(); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		return errors.Join(err, b.Rollback())
+	}
+	return b.Commit()
+}
+
+// Log and WAL-meta encoding.
+const (
+	walMagic     = "MOBIDXL1"
+	walVer       = 1
+	walHeaderLen = 24
+
+	walMetaMagic = "MOBIDXWM"
+	walMetaLen   = 32 // fixed prefix incl. CRC; rest of the page is unused
+
+	recAlloc  = 1
+	recWrite  = 2
+	recFree   = 3
+	recCommit = 4
+
+	// recBodyMin is the smallest record body: LSN + type + a 4-byte id.
+	recBodyMin = 8 + 1 + 4
+)
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	lsn     uint64
+	typ     byte
+	page    PageID // alloc, write, free
+	data    []byte // write: the page image (aliases the scan buffer)
+	seq     uint64 // commit
+	count   int    // commit: records in the batch before this one
+	encoded int    // total encoded length in the log
+}
+
+// appendWALRecord encodes one record onto buf.
+func appendWALRecord(buf []byte, lsn uint64, typ byte, payload []byte) []byte {
+	body := 9 + len(payload)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(body))
+	binary.LittleEndian.PutUint64(hdr[4:12], lsn)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	sum := crc32.Checksum(buf[len(buf)-body:], castagnoli)
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], sum)
+	return append(buf, tr[:]...)
+}
+
+// decodeWALRecord parses the record at the start of b for a store with the
+// given page size. It returns the record and the number of bytes consumed.
+// Errors distinguish a short/torn record (io.ErrUnexpectedEOF) from a
+// checksum or structural failure (ErrWALCorrupt).
+func decodeWALRecord(b []byte, pageSize int) (walRecord, error) {
+	var r walRecord
+	if len(b) < 4 {
+		return r, io.ErrUnexpectedEOF
+	}
+	body := int(binary.LittleEndian.Uint32(b[0:4]))
+	if body < recBodyMin || body > 9+4+pageSize {
+		return r, fmt.Errorf("%w: record body length %d", ErrWALCorrupt, body)
+	}
+	total := 4 + body + 4
+	if len(b) < total {
+		return r, io.ErrUnexpectedEOF
+	}
+	// The frame is plausible from here on: even if validation below fails,
+	// r.encoded lets the recovery scan distinguish a corrupt record with
+	// valid records after it (mid-log damage) from a torn tail.
+	r.encoded = total
+	want := binary.LittleEndian.Uint32(b[4+body:])
+	if got := crc32.Checksum(b[4:4+body], castagnoli); got != want {
+		return r, fmt.Errorf("%w: record checksum %08x, want %08x", ErrWALCorrupt, got, want)
+	}
+	r.lsn = binary.LittleEndian.Uint64(b[4:12])
+	r.typ = b[12]
+	payload := b[13 : 4+body]
+	switch r.typ {
+	case recAlloc, recFree:
+		if len(payload) != 4 {
+			return r, fmt.Errorf("%w: alloc/free payload %d bytes", ErrWALCorrupt, len(payload))
+		}
+		r.page = PageID(binary.LittleEndian.Uint32(payload))
+		if r.page == 0 {
+			return r, fmt.Errorf("%w: record for page 0", ErrWALCorrupt)
+		}
+	case recWrite:
+		if len(payload) != 4+pageSize {
+			return r, fmt.Errorf("%w: write payload %d bytes, want %d", ErrWALCorrupt, len(payload), 4+pageSize)
+		}
+		r.page = PageID(binary.LittleEndian.Uint32(payload))
+		if r.page == 0 {
+			return r, fmt.Errorf("%w: record for page 0", ErrWALCorrupt)
+		}
+		r.data = payload[4:]
+	case recCommit:
+		if len(payload) != 12 {
+			return r, fmt.Errorf("%w: commit payload %d bytes", ErrWALCorrupt, len(payload))
+		}
+		r.seq = binary.LittleEndian.Uint64(payload[0:8])
+		r.count = int(binary.LittleEndian.Uint32(payload[8:12]))
+	default:
+		return r, fmt.Errorf("%w: record type %d", ErrWALCorrupt, r.typ)
+	}
+	return r, nil
+}
+
+// WALConfig configures a WALStore. The zero value checkpoints only on
+// demand.
+type WALConfig struct {
+	// AutoCheckpointBytes runs a checkpoint after any commit that leaves
+	// the log at or beyond this size, keeping the log bounded. Zero
+	// disables automatic checkpoints.
+	AutoCheckpointBytes int64
+}
+
+// walBatch is the staged state of one open batch.
+type walBatch struct {
+	depth      int
+	aborted    bool
+	allocs     []PageID // base allocations, in order
+	allocSet   map[PageID]struct{}
+	writes     map[PageID][]byte
+	writeOrder []PageID // first-write order, for stable logging
+	frees      []PageID
+	freeSet    map[PageID]struct{}
+}
+
+// WALStore wraps a base Store with a write-ahead log providing atomic
+// multi-page batches (Begin/Write/Commit), crash recovery (OpenWALStore),
+// and log-bounding checkpoints. It implements Store: operations outside an
+// explicit batch run as batches of one. Reads see committed state (plus
+// the open batch's own staged writes); uncommitted writes are never
+// visible to the base store.
+//
+// Batches are a single-writer protocol: Begin/Commit/Rollback pairs must
+// come from one goroutine at a time. Individual operations are safe for
+// concurrent use.
+type WALStore struct {
+	mu       sync.Mutex
+	base     Store
+	log      LogFile
+	cfg      WALConfig
+	pageSize int
+	metaPage PageID
+
+	nextLSN    uint64
+	appliedLSN uint64
+	seq        uint64 // last committed batch sequence number
+	logSize    int64
+
+	table map[PageID][]byte // committed page images not yet checkpointed
+	batch *walBatch
+	stats Stats
+	fail  error // poisoned: volatile state diverged from the log
+	done  bool  // closed
+}
+
+// OpenWALStore opens a write-ahead-logged store over base and log. An
+// empty log initializes a fresh WAL (reserving one base page for the
+// watermark); a non-empty log is verified, its torn tail truncated, and
+// every committed batch beyond the watermark replayed. The base must be
+// the same store (or a reopening of it) the log was written against.
+func OpenWALStore(base Store, log LogFile, cfg WALConfig) (*WALStore, error) {
+	if base.PageSize() < walMetaLen {
+		return nil, fmt.Errorf("pager: page size %d too small for wal meta", base.PageSize())
+	}
+	size, err := log.Size()
+	if err != nil {
+		return nil, fmt.Errorf("pager: wal open: %w", err)
+	}
+	w := &WALStore{
+		base:     base,
+		log:      log,
+		cfg:      cfg,
+		pageSize: base.PageSize(),
+		nextLSN:  1,
+		table:    make(map[PageID][]byte),
+	}
+	if size > 0 && size < walHeaderLen {
+		// A crash tore the very first header append: nothing was ever
+		// logged, so starting fresh loses nothing.
+		if err := log.Truncate(0); err != nil {
+			return nil, fmt.Errorf("pager: wal open: %w", err)
+		}
+		size = 0
+	}
+	if size == 0 {
+		if err := w.initialize(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	if err := w.recover(size); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// initialize sets up a fresh WAL: meta page first (durable in the base),
+// then the log header.
+func (w *WALStore) initialize() error {
+	p, err := w.base.Allocate()
+	if err != nil {
+		return fmt.Errorf("pager: wal init: %w", err)
+	}
+	w.metaPage = p.ID
+	if err := w.writeMetaPage(); err != nil {
+		return err
+	}
+	if err := w.baseSync(); err != nil {
+		return fmt.Errorf("pager: wal init: %w", err)
+	}
+	hdr := make([]byte, walHeaderLen)
+	copy(hdr[0:8], walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], walVer)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(w.pageSize))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(w.metaPage))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(hdr[:20], castagnoli))
+	if err := w.log.Append(hdr); err != nil {
+		return fmt.Errorf("pager: wal init: %w", err)
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("pager: wal init: %w", err)
+	}
+	w.logSize = walHeaderLen
+	return nil
+}
+
+// writeMetaPage stores the watermark (applied LSN + sequence) in the
+// reserved base page.
+func (w *WALStore) writeMetaPage() error {
+	data := make([]byte, w.pageSize)
+	copy(data[0:8], walMetaMagic)
+	binary.LittleEndian.PutUint32(data[8:12], walVer)
+	binary.LittleEndian.PutUint64(data[12:20], w.appliedLSN)
+	binary.LittleEndian.PutUint64(data[20:28], w.seq)
+	binary.LittleEndian.PutUint32(data[28:32], crc32.Checksum(data[:28], castagnoli))
+	if err := w.base.Write(&Page{ID: w.metaPage, Data: data}); err != nil {
+		return fmt.Errorf("pager: wal meta: %w", err)
+	}
+	return nil
+}
+
+// baseSync flushes the base store if it has a durability point.
+func (w *WALStore) baseSync() error {
+	if s, ok := w.base.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// recover rebuilds the store from a non-empty log: verify header, read
+// watermark, scan + truncate torn tail, replay committed batches.
+func (w *WALStore) recover(size int64) error {
+	hdr := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(io.NewSectionReader(w.log, 0, walHeaderLen), hdr); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrWALCorrupt, err)
+	}
+	if string(hdr[0:8]) != walMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, hdr[0:8])
+	}
+	if binary.LittleEndian.Uint32(hdr[20:24]) != crc32.Checksum(hdr[:20], castagnoli) {
+		return fmt.Errorf("%w: header checksum", ErrWALCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != walVer {
+		return fmt.Errorf("%w: unsupported version %d", ErrWALCorrupt, v)
+	}
+	if ps := int(binary.LittleEndian.Uint32(hdr[12:16])); ps != w.pageSize {
+		return fmt.Errorf("%w: log page size %d, store %d", ErrWALCorrupt, ps, w.pageSize)
+	}
+	w.metaPage = PageID(binary.LittleEndian.Uint32(hdr[16:20]))
+	if w.metaPage == 0 {
+		return fmt.Errorf("%w: meta page id 0", ErrWALCorrupt)
+	}
+
+	// The watermark. A corrupt or unreadable meta page (a crash can tear
+	// its write mid-checkpoint) degrades to replay-from-zero, which the
+	// forcing replay semantics make safe; the next checkpoint rewrites it.
+	degraded := true
+	if mp, err := w.base.Read(w.metaPage); err == nil {
+		d := mp.Data
+		if len(d) >= walMetaLen && string(d[0:8]) == walMetaMagic &&
+			binary.LittleEndian.Uint32(d[28:32]) == crc32.Checksum(d[:28], castagnoli) {
+			w.appliedLSN = binary.LittleEndian.Uint64(d[12:20])
+			w.seq = binary.LittleEndian.Uint64(d[20:28])
+			degraded = false
+		}
+	}
+
+	// Scan: read the whole log, validate records, find the last committed
+	// boundary.
+	buf := make([]byte, size-walHeaderLen)
+	if _, err := io.ReadFull(io.NewSectionReader(w.log, walHeaderLen, size-walHeaderLen), buf); err != nil {
+		return fmt.Errorf("%w: short log read: %v", ErrWALCorrupt, err)
+	}
+	type batch struct {
+		recs      []walRecord
+		commitLSN uint64
+		seq       uint64
+	}
+	var batches []batch
+	var pending []walRecord
+	lastGood := int64(walHeaderLen) // end offset of the last committed batch
+	off := 0
+	var expectLSN uint64
+	for off < len(buf) {
+		rec, err := decodeWALRecord(buf[off:], w.pageSize)
+		if err != nil {
+			// A record that fails to decode is either the torn tail of a
+			// crashed append — everything after it is garbage — or
+			// corruption in the middle of the log. Distinguish them by
+			// searching the remainder for a record that still decodes at
+			// an LSN the sequence could reach: appends are sequential, so
+			// valid data past the failure means the failure is corruption
+			// (a bit flip, possibly in the length field itself), and
+			// silently truncating there would drop committed batches. The
+			// byte-wise search can in principle mistake record-shaped page
+			// content inside a torn write record for a live record; that
+			// errs toward refusing recovery, never toward losing data.
+			for probe := off + 1; probe < len(buf); probe++ {
+				rec2, err2 := decodeWALRecord(buf[probe:], w.pageSize)
+				if err2 == nil && rec2.lsn >= expectLSN {
+					return fmt.Errorf("%w: record at offset %d invalid mid-log", ErrWALCorrupt, walHeaderLen+off)
+				}
+			}
+			break
+		}
+		if expectLSN != 0 && rec.lsn != expectLSN {
+			return fmt.Errorf("%w: LSN %d at offset %d, want %d", ErrWALCorrupt, rec.lsn, walHeaderLen+off, expectLSN)
+		}
+		if expectLSN == 0 {
+			if !degraded && rec.lsn > w.appliedLSN+1 {
+				return fmt.Errorf("%w: log starts at LSN %d past watermark %d", ErrWALCorrupt, rec.lsn, w.appliedLSN)
+			}
+		}
+		expectLSN = rec.lsn + 1
+		off += rec.encoded
+		if rec.typ == recCommit {
+			if rec.count != len(pending) {
+				return fmt.Errorf("%w: commit LSN %d counts %d records, found %d", ErrWALCorrupt, rec.lsn, rec.count, len(pending))
+			}
+			batches = append(batches, batch{recs: pending, commitLSN: rec.lsn, seq: rec.seq})
+			pending = nil
+			lastGood = walHeaderLen + int64(off)
+		} else {
+			pending = append(pending, rec)
+		}
+	}
+	if degraded && len(batches) == 0 {
+		return fmt.Errorf("%w: watermark unreadable and no committed batch in log", ErrWALCorrupt)
+	}
+	// Discard the torn/uncommitted tail.
+	if lastGood < size {
+		if err := w.log.Truncate(lastGood); err != nil {
+			return fmt.Errorf("pager: wal recover: %w", err)
+		}
+		if err := w.log.Sync(); err != nil {
+			return fmt.Errorf("pager: wal recover: %w", err)
+		}
+	}
+	w.logSize = lastGood
+	w.nextLSN = w.appliedLSN + 1
+
+	// Replay committed batches beyond the watermark.
+	adopter, _ := w.base.(Adopter)
+	if degraded && adopter != nil {
+		// The meta page's own allocation predates every log record (it
+		// happens at initialize, before the header is written), so a
+		// degraded replay over a fresh base must adopt it explicitly.
+		if err := w.replayAdopt(adopter, w.metaPage); err != nil {
+			return err
+		}
+	}
+	for _, b := range batches {
+		if b.commitLSN > w.nextLSN-1 {
+			w.nextLSN = b.commitLSN + 1
+		}
+		if b.commitLSN <= w.appliedLSN {
+			continue // fully applied and synced before the last checkpoint
+		}
+		for _, rec := range b.recs {
+			switch rec.typ {
+			case recAlloc:
+				if err := w.replayAdopt(adopter, rec.page); err != nil {
+					return err
+				}
+			case recWrite:
+				img := make([]byte, len(rec.data))
+				copy(img, rec.data)
+				w.table[rec.page] = img
+			case recFree:
+				delete(w.table, rec.page)
+				if err := w.replayDisown(adopter, rec.page); err != nil {
+					return err
+				}
+			}
+		}
+		if b.seq > w.seq {
+			w.seq = b.seq
+		}
+	}
+	return nil
+}
+
+// replayAdopt forces page id live in the base during recovery.
+func (w *WALStore) replayAdopt(a Adopter, id PageID) error {
+	if a != nil {
+		if err := a.Adopt(id); err != nil {
+			return fmt.Errorf("%w: adopt page %d: %v", ErrWALReplay, id, err)
+		}
+		return nil
+	}
+	// Fallback for bases without Adopter: re-executing the logged
+	// allocation sequence from the watermark state must yield the same
+	// ids (MemStore and FileStore allocators are deterministic).
+	p, err := w.base.Allocate()
+	if err != nil {
+		return fmt.Errorf("%w: alloc page %d: %v", ErrWALReplay, id, err)
+	}
+	if p.ID != id {
+		return fmt.Errorf("%w: replay allocated page %d, log says %d", ErrWALReplay, p.ID, id)
+	}
+	return nil
+}
+
+// replayDisown forces page id free in the base during recovery.
+func (w *WALStore) replayDisown(a Adopter, id PageID) error {
+	if a != nil {
+		if err := a.Disown(id); err != nil {
+			return fmt.Errorf("%w: disown page %d: %v", ErrWALReplay, id, err)
+		}
+		return nil
+	}
+	if err := w.base.Free(id); err != nil && !errors.Is(err, ErrDoubleFree) {
+		return fmt.Errorf("%w: free page %d: %v", ErrWALReplay, id, err)
+	}
+	return nil
+}
+
+// MetaPage returns the id of the base page reserved for the WAL watermark.
+func (w *WALStore) MetaPage() PageID { return w.metaPage }
+
+// CommittedSeq returns the sequence number of the last committed batch
+// (batches are numbered from 1); it survives crash recovery, so callers
+// can map a recovered store back to a point in their own history.
+func (w *WALStore) CommittedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// AppliedLSN returns the checkpoint watermark: every log record at or
+// below it is applied to the base store and durable.
+func (w *WALStore) AppliedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appliedLSN
+}
+
+// LogSize returns the current log length in bytes.
+func (w *WALStore) LogSize() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.logSize
+}
+
+// PendingPages returns the number of committed page images waiting for the
+// next checkpoint.
+func (w *WALStore) PendingPages() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.table)
+}
+
+func (w *WALStore) ok() error {
+	if w.done {
+		return ErrStoreClosed
+	}
+	return w.fail
+}
+
+// poison marks the store failed: the in-memory state no longer matches the
+// log, so only a reopen (which replays the log) is safe.
+func (w *WALStore) poison(cause error) error {
+	err := fmt.Errorf("%w: %w", ErrStoreFailed, cause)
+	w.fail = err
+	return err
+}
+
+// Begin implements Batcher: it opens a batch (or joins the open one —
+// nested Begin/Commit pairs commit only at the outermost level).
+func (w *WALStore) Begin() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.ok(); err != nil {
+		return err
+	}
+	if w.batch != nil {
+		w.batch.depth++
+		return nil
+	}
+	w.batch = &walBatch{
+		depth:    1,
+		allocSet: make(map[PageID]struct{}),
+		writes:   make(map[PageID][]byte),
+		freeSet:  make(map[PageID]struct{}),
+	}
+	return nil
+}
+
+// Rollback implements Batcher: it discards the batch's staged writes and
+// frees, and returns its base allocations. A nested Rollback poisons the
+// enclosing batch (its outermost Commit fails with ErrBatchAborted).
+func (w *WALStore) Rollback() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.batch == nil {
+		return ErrNoBatch
+	}
+	w.batch.aborted = true
+	w.batch.depth--
+	if w.batch.depth > 0 {
+		return nil
+	}
+	return w.rollbackLocked()
+}
+
+// rollbackLocked physically undoes the open batch (caller holds mu).
+func (w *WALStore) rollbackLocked() error {
+	b := w.batch
+	w.batch = nil
+	// Reverse order restores the base free list exactly, keeping the
+	// allocator's future id sequence identical to a run in which this
+	// batch never existed (which is how the log will read).
+	for i := len(b.allocs) - 1; i >= 0; i-- {
+		if err := w.base.Free(b.allocs[i]); err != nil {
+			return w.poison(fmt.Errorf("rollback free page %d: %w", b.allocs[i], err))
+		}
+	}
+	return nil
+}
+
+// Commit implements Batcher: the outermost Commit appends the batch's
+// records and a commit record to the log, syncs it, and then applies the
+// batch — page images into the committed table, frees into the base
+// allocator. The batch is durable once Commit returns. An automatic
+// checkpoint may follow (WALConfig); its error is returned even though
+// the commit itself succeeded.
+func (w *WALStore) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.batch == nil {
+		return ErrNoBatch
+	}
+	if w.batch.depth > 1 {
+		w.batch.depth--
+		return nil
+	}
+	if w.batch.aborted {
+		err := w.rollbackLocked()
+		if err != nil {
+			return err
+		}
+		return ErrBatchAborted
+	}
+	if err := w.ok(); err != nil {
+		return err
+	}
+	b := w.batch
+	if len(b.allocs) == 0 && len(b.writes) == 0 && len(b.frees) == 0 {
+		w.batch = nil
+		return nil
+	}
+
+	// Append the records: allocations first (in allocation order — replay
+	// re-executes them against the base allocator), then final page
+	// images, then frees. Writes to pages freed later in the same batch
+	// are dead and not logged.
+	startLSN := w.nextLSN
+	startSize := w.logSize
+	var buf []byte
+	count := 0
+	emit := func(typ byte, payload []byte) {
+		buf = appendWALRecord(buf[:0], w.nextLSN, typ, payload)
+		w.nextLSN++
+		count++
+	}
+	var idb [4]byte
+	appendErr := func() error {
+		for _, id := range b.allocs {
+			binary.LittleEndian.PutUint32(idb[:], uint32(id))
+			emit(recAlloc, idb[:])
+			if err := w.log.Append(buf); err != nil {
+				return err
+			}
+		}
+		for _, id := range b.writeOrder {
+			if _, dead := b.freeSet[id]; dead {
+				continue
+			}
+			payload := make([]byte, 4+w.pageSize)
+			binary.LittleEndian.PutUint32(payload[0:4], uint32(id))
+			copy(payload[4:], b.writes[id])
+			emit(recWrite, payload)
+			if err := w.log.Append(buf); err != nil {
+				return err
+			}
+		}
+		for _, id := range b.frees {
+			binary.LittleEndian.PutUint32(idb[:], uint32(id))
+			emit(recFree, idb[:])
+			if err := w.log.Append(buf); err != nil {
+				return err
+			}
+		}
+		var cp [12]byte
+		binary.LittleEndian.PutUint64(cp[0:8], w.seq+1)
+		binary.LittleEndian.PutUint32(cp[8:12], uint32(count))
+		buf = appendWALRecord(buf[:0], w.nextLSN, recCommit, cp[:])
+		w.nextLSN++
+		if err := w.log.Append(buf); err != nil {
+			return err
+		}
+		w.logSize = startSize // recomputed below on success
+		return w.log.Sync()
+	}()
+	if appendErr != nil {
+		// The log tail now holds a half-written batch; cut it back so the
+		// next commit appends onto a clean boundary, then undo the batch.
+		w.nextLSN = startLSN
+		if terr := w.log.Truncate(startSize); terr != nil {
+			return w.poison(fmt.Errorf("commit append: %w; truncate: %w", appendErr, terr))
+		}
+		if rerr := w.rollbackLocked(); rerr != nil {
+			return errors.Join(fmt.Errorf("pager: wal commit: %w", appendErr), rerr)
+		}
+		return fmt.Errorf("pager: wal commit: %w", appendErr)
+	}
+	// Recompute the log size: records were appended one by one.
+	sz, err := w.log.Size()
+	if err == nil {
+		w.logSize = sz
+	} else {
+		w.logSize = startSize // unknown; next checkpoint fixes it
+	}
+
+	// The batch is durable; apply it to the volatile state. The log is
+	// now the source of truth — an apply failure poisons the store.
+	w.batch = nil
+	for _, id := range b.writeOrder {
+		if _, dead := b.freeSet[id]; dead {
+			continue
+		}
+		w.table[id] = b.writes[id]
+	}
+	for _, id := range b.frees {
+		delete(w.table, id)
+		if err := w.base.Free(id); err != nil {
+			return w.poison(fmt.Errorf("commit apply free page %d: %w", id, err))
+		}
+	}
+	w.seq++
+
+	if w.cfg.AutoCheckpointBytes > 0 && w.logSize >= w.cfg.AutoCheckpointBytes {
+		if err := w.checkpointLocked(); err != nil {
+			return fmt.Errorf("pager: commit durable; auto-checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint applies every committed page image to the base store, makes
+// the base durable, advances the watermark, and truncates the log to its
+// header. It fails with ErrBatchOpen while a batch is open. Checkpoint is
+// idempotent and safe to retry after an error.
+func (w *WALStore) Checkpoint() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.ok(); err != nil {
+		return err
+	}
+	if w.batch != nil {
+		return fmt.Errorf("%w: checkpoint requires a quiescent store", ErrBatchOpen)
+	}
+	return w.checkpointLocked()
+}
+
+func (w *WALStore) checkpointLocked() error {
+	if len(w.table) == 0 && w.logSize <= walHeaderLen && w.appliedLSN == w.nextLSN-1 {
+		return nil
+	}
+	// 1. Apply committed images to the base.
+	for id, img := range w.table {
+		if err := w.base.Write(&Page{ID: id, Data: img}); err != nil {
+			return fmt.Errorf("pager: checkpoint page %d: %w", id, err)
+		}
+	}
+	// 2. Base durable: data pages AND the base's own allocator state.
+	if err := w.baseSync(); err != nil {
+		return fmt.Errorf("pager: checkpoint sync: %w", err)
+	}
+	// 3. Advance the watermark — only now, so the durable allocator is
+	// never behind it — and make it durable.
+	w.appliedLSN = w.nextLSN - 1
+	if err := w.writeMetaPage(); err != nil {
+		return err
+	}
+	if err := w.baseSync(); err != nil {
+		return fmt.Errorf("pager: checkpoint meta sync: %w", err)
+	}
+	// 4. Everything in the log is applied and durable; drop it. The table
+	// is clear even if truncation fails — the watermark covers the stale
+	// records and recovery will skip them.
+	w.table = make(map[PageID][]byte)
+	if err := w.log.Truncate(walHeaderLen); err != nil {
+		return fmt.Errorf("pager: checkpoint truncate: %w", err)
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("pager: checkpoint truncate sync: %w", err)
+	}
+	w.logSize = walHeaderLen
+	return nil
+}
+
+// Close checkpoints and closes the log (the base store remains the
+// caller's to close). An open batch is rolled back first.
+func (w *WALStore) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return nil
+	}
+	var errs []error
+	if w.batch != nil {
+		w.batch.depth = 1
+		if err := w.rollbackLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if w.fail == nil {
+		if err := w.checkpointLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	w.done = true
+	if err := w.log.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// PageSize implements Store.
+func (w *WALStore) PageSize() int { return w.pageSize }
+
+// Stats implements Store, reporting logical traffic: reads however served
+// (batch, table, or base) and writes/allocs/frees as staged. Physical base
+// traffic (deferred to checkpoints) is available from the base store.
+func (w *WALStore) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// PagesInUse implements Store: live pages excluding the reserved WAL-meta
+// page and pages the open batch has staged to free.
+func (w *WALStore) PagesInUse() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.base.PagesInUse() - 1
+	if w.batch != nil {
+		n -= len(w.batch.frees)
+	}
+	return n
+}
+
+// Allocate implements Store. Inside a batch the base allocation happens
+// immediately (ids must be stable) but is undone by Rollback; outside a
+// batch it commits as a batch of one.
+func (w *WALStore) Allocate() (*Page, error) {
+	w.mu.Lock()
+	if err := w.ok(); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	if w.batch != nil {
+		p, err := w.allocateLocked()
+		w.mu.Unlock()
+		return p, err
+	}
+	w.mu.Unlock()
+	var p *Page
+	err := RunBatch(w, func() error {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		var e error
+		p, e = w.allocateLocked()
+		return e
+	})
+	return p, err
+}
+
+func (w *WALStore) allocateLocked() (*Page, error) {
+	p, err := w.base.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	b := w.batch
+	b.allocs = append(b.allocs, p.ID)
+	b.allocSet[p.ID] = struct{}{}
+	w.stats.Allocs++
+	return p, nil
+}
+
+// Read implements Store: the open batch's staged image, else the committed
+// table, else the base store.
+func (w *WALStore) Read(id PageID) (*Page, error) {
+	w.mu.Lock()
+	if err := w.ok(); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	if id == w.metaPage {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("pager: read wal meta page %d: %w", id, ErrReservedPage)
+	}
+	if w.batch != nil {
+		if _, freed := w.batch.freeSet[id]; freed {
+			w.mu.Unlock()
+			return nil, fmt.Errorf("%w: page %d freed in open batch", ErrPageNotFound, id)
+		}
+		if img, ok := w.batch.writes[id]; ok {
+			data := make([]byte, len(img))
+			copy(data, img)
+			w.stats.Reads++
+			w.mu.Unlock()
+			return &Page{ID: id, Data: data}, nil
+		}
+	}
+	if img, ok := w.table[id]; ok {
+		data := make([]byte, len(img))
+		copy(data, img)
+		w.stats.Reads++
+		w.mu.Unlock()
+		return &Page{ID: id, Data: data}, nil
+	}
+	w.stats.Reads++
+	w.mu.Unlock()
+	return w.base.Read(id)
+}
+
+// Write implements Store: inside a batch the image is staged (visible to
+// the batch's own reads, invisible to everyone else until Commit);
+// outside a batch it commits as a batch of one.
+func (w *WALStore) Write(p *Page) error {
+	w.mu.Lock()
+	if err := w.ok(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if w.batch != nil {
+		err := w.writeLocked(p)
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	return RunBatch(w, func() error {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.writeLocked(p)
+	})
+}
+
+func (w *WALStore) writeLocked(p *Page) error {
+	if len(p.Data) != w.pageSize {
+		return fmt.Errorf("pager: wal write page %d: %d bytes, want %d", p.ID, len(p.Data), w.pageSize)
+	}
+	if p.ID == w.metaPage || p.ID == 0 {
+		return fmt.Errorf("pager: write wal meta page %d: %w", p.ID, ErrReservedPage)
+	}
+	b := w.batch
+	if _, freed := b.freeSet[p.ID]; freed {
+		return fmt.Errorf("%w: page %d freed in open batch", ErrPageNotFound, p.ID)
+	}
+	if _, seen := b.writes[p.ID]; !seen {
+		b.writeOrder = append(b.writeOrder, p.ID)
+	}
+	img := make([]byte, w.pageSize)
+	copy(img, p.Data)
+	b.writes[p.ID] = img
+	w.stats.Writes++
+	return nil
+}
+
+// Free implements Store: staged until Commit. Freeing a page twice in one
+// batch fails with ErrDoubleFree; freeing the WAL-meta page with
+// ErrReservedPage.
+func (w *WALStore) Free(id PageID) error {
+	w.mu.Lock()
+	if err := w.ok(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if w.batch != nil {
+		err := w.freeLocked(id)
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	return RunBatch(w, func() error {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.freeLocked(id)
+	})
+}
+
+func (w *WALStore) freeLocked(id PageID) error {
+	if id == w.metaPage || id == 0 {
+		return fmt.Errorf("pager: free wal meta page %d: %w", id, ErrReservedPage)
+	}
+	b := w.batch
+	if _, dup := b.freeSet[id]; dup {
+		return fmt.Errorf("pager: free page %d: %w", id, ErrDoubleFree)
+	}
+	// Validate liveness now: once logged, a free MUST apply, so a bad id
+	// must be rejected before it can reach the log.
+	_, inBatch := b.allocSet[id]
+	_, inWrites := b.writes[id]
+	_, inTable := w.table[id]
+	if !inBatch && !inWrites && !inTable {
+		if _, err := w.base.Read(id); err != nil {
+			return fmt.Errorf("pager: free page %d: %w", id, err)
+		}
+	}
+	b.freeSet[id] = struct{}{}
+	b.frees = append(b.frees, id)
+	w.stats.Frees++
+	return nil
+}

@@ -162,6 +162,60 @@ func NewRetryStore(under Store, policy RetryPolicy) *pager.RetryStore {
 	return pager.NewRetryStore(under, policy)
 }
 
+// Write-ahead logging: OpenWALStore wraps any Store so multi-page updates
+// (a B+-tree split, a whole kinetic build) commit atomically. Writes
+// inside a Begin/Commit batch reach the append-only log first; crash
+// recovery replays committed batches and discards torn tails, so a
+// reopened store shows every committed batch and nothing else.
+type (
+	// WALStore is the write-ahead-logged store.
+	WALStore = pager.WALStore
+	// WALConfig tunes the WAL (automatic checkpoint threshold).
+	WALConfig = pager.WALConfig
+	// LogFile is the append-only device a WALStore logs to.
+	LogFile = pager.LogFile
+	// Batcher is implemented by stores with atomic Begin/Commit/Rollback
+	// batches (WALStore, and Buffered when its underlying store batches).
+	Batcher = pager.Batcher
+)
+
+// Typed failures of the WAL layer.
+var (
+	// ErrWALCorrupt marks a log whose contents fail validation beyond
+	// what clean truncation can repair.
+	ErrWALCorrupt = pager.ErrWALCorrupt
+	// ErrWALReplay marks a replay that diverged from the base store.
+	ErrWALReplay = pager.ErrWALReplay
+	// ErrBatchOpen / ErrNoBatch / ErrBatchAborted type batch misuse.
+	ErrBatchOpen    = pager.ErrBatchOpen
+	ErrNoBatch      = pager.ErrNoBatch
+	ErrBatchAborted = pager.ErrBatchAborted
+	// ErrStoreFailed marks a store poisoned by a failure after the point
+	// of durability; reopen it to recover.
+	ErrStoreFailed = pager.ErrStoreFailed
+	// ErrDoubleFree and ErrReservedPage type invalid frees.
+	ErrDoubleFree   = pager.ErrDoubleFree
+	ErrReservedPage = pager.ErrReservedPage
+)
+
+// OpenWALStore opens (or recovers) a write-ahead-logged store over base
+// and log. On a non-empty log it verifies the header, truncates any torn
+// tail, and replays committed batches newer than the checkpoint watermark.
+func OpenWALStore(base Store, log LogFile, cfg WALConfig) (*WALStore, error) {
+	return pager.OpenWALStore(base, log, cfg)
+}
+
+// NewMemLog returns an empty in-memory log device.
+func NewMemLog() *pager.MemLog { return pager.NewMemLog() }
+
+// OpenFileLog opens (creating if absent) a file-backed log device.
+func OpenFileLog(path string) (*pager.FileLog, error) { return pager.OpenFileLog(path) }
+
+// RunBatch runs fn inside a Begin/Commit batch when the store supports
+// batching (rolling back if fn fails), and plainly otherwise. The index
+// structures use it around every multi-page mutation.
+func RunBatch(s Store, fn func() error) error { return pager.RunBatch(s, fn) }
+
 // Record precision of the B+-tree based structures.
 const (
 	// WideRecords stores 8-byte keys (exact float64 round trips).

@@ -25,4 +25,8 @@ go test ./...
 echo "== go test -race (storage layer) =="
 go test -race ./internal/pager/...
 
+echo "== fuzz smoke =="
+go test ./internal/bptree -run '^$' -fuzz '^FuzzDecodeNode$' -fuzztime=10s
+go test ./internal/pager -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s
+
 echo "verify: all checks passed"
