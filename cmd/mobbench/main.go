@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -29,8 +31,23 @@ func main() {
 		ticks    = flag.Int("ticks", 200, "scenario length in time instants (paper: 2000)")
 		verify   = flag.Bool("verify", false, "cross-check every query against brute force (slow)")
 		partTree = flag.Bool("parttree", false, "include the §3.4 partition tree in the figures")
+
+		throughput = flag.Bool("throughput", false, "run the parallel serving benchmark instead of the figures")
+		tpWorkers  = flag.String("tpworkers", "1,2,4,8", "comma-separated worker counts for -throughput")
+		tpN        = flag.Int("tpn", 20000, "object count for -throughput")
+		tpQueries  = flag.Int("tpqueries", 4000, "queries served per worker count in -throughput")
+		tpIO       = flag.Duration("tpio", 150*time.Microsecond, "simulated disk latency per buffer-pool miss in -throughput (0 = in-memory)")
+		benchOut   = flag.String("benchout", "BENCH_parallel.json", "output file for the -throughput report")
 	)
 	flag.Parse()
+
+	if *throughput {
+		if err := runThroughput(*tpWorkers, *tpN, *tpQueries, *tpIO, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mobbench: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ns, err := parseInts(*nsFlag)
 	if err != nil {
@@ -116,6 +133,73 @@ func main() {
 		fmt.Println(harness.FormatRouted(routed))
 		return nil
 	})
+}
+
+// runThroughput serves a mixed query/update workload at each worker count
+// and writes the machine-readable report (QPS, p50/p99 latency, 4-vs-1
+// speedup, and the result of the parallel-vs-sequential differential
+// check) to outPath.
+func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, outPath string) error {
+	workers, err := parseInts(workersCSV)
+	if err != nil {
+		return fmt.Errorf("bad -tpworkers: %w", err)
+	}
+
+	fmt.Printf("Throughput serving benchmark: N=%d, %d queries per run, %v per page miss, GOMAXPROCS=%d\n",
+		n, queries, ioLat, runtime.GOMAXPROCS(0))
+
+	type report struct {
+		N            int                         `json:"n"`
+		Queries      int                         `json:"queries_per_run"`
+		IOLatencyUs  float64                     `json:"io_latency_us"`
+		GOMAXPROCS   int                         `json:"gomaxprocs"`
+		Runs         []*harness.ThroughputResult `json:"runs"`
+		Speedup4v1   float64                     `json:"speedup_4v1,omitempty"`
+		Differential string                      `json:"differential"`
+	}
+	rep := report{
+		N: n, Queries: queries, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IOLatencyUs: float64(ioLat.Nanoseconds()) / 1e3,
+	}
+
+	qpsAt := map[int]float64{}
+	for _, w := range workers {
+		res, err := harness.RunThroughput(harness.ThroughputConfig{
+			N: n, Workers: w, Queries: queries, IOLatency: ioLat,
+		})
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		qpsAt[w] = res.QPS
+		fmt.Printf("  workers=%-2d  %8.0f q/s   p50 %8s   p99 %8s   (%d updates interleaved)\n",
+			w, res.QPS, res.P50, res.P99, res.Updates)
+	}
+	if qpsAt[1] > 0 && qpsAt[4] > 0 {
+		rep.Speedup4v1 = qpsAt[4] / qpsAt[1]
+		fmt.Printf("  speedup 4 vs 1 workers: %.2fx\n", rep.Speedup4v1)
+	}
+
+	// The determinism half of the story: parallel subquery execution must
+	// be byte-identical to sequential at every worker count.
+	rep.Differential = "ok"
+	if err := harness.CheckParallelDifferential(min(n, 10000), 1999, []int{1, 2, 8}); err != nil {
+		rep.Differential = err.Error()
+	}
+	fmt.Printf("  differential (parallel vs sequential vs oracle): %s\n", rep.Differential)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	if rep.Differential != "ok" {
+		return fmt.Errorf("differential check failed: %s", rep.Differential)
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mobidx/internal/bptree"
 	"mobidx/internal/dual"
@@ -40,7 +41,7 @@ type DualBPlus struct {
 	cfg        DualBPlusConfig
 	store      pager.Store
 	rot        *Rotator[dual.Motion, *dualBPGen]
-	candidates int // entries scanned by the most recent Query (see LastQueryCandidates)
+	candidates atomic.Int64 // entries scanned since the last Query began (see LastQueryCandidates)
 }
 
 // NewDualBPlus creates the index on the given store.
@@ -89,12 +90,17 @@ func (d *DualBPlus) Generations() int { return d.rot.Generations() }
 
 // LastQueryCandidates reports how many index entries the most recent Query
 // scanned before exact filtering — the quantity whose excess over the true
-// answer is the approximation error K' of Lemma 1.
-func (d *DualBPlus) LastQueryCandidates() int { return d.candidates }
+// answer is the approximation error K' of Lemma 1. The counter is atomic;
+// under concurrent queries it aggregates all of them (each Query resets
+// it), so per-query readings are only meaningful for serialized queries.
+func (d *DualBPlus) LastQueryCandidates() int { return int(d.candidates.Load()) }
 
 // Query implements Index1D, deduplicating across decomposed subqueries.
+// Concurrent Query calls are safe as long as no Insert/Delete runs at the
+// same time (readers-writer locking is the caller's choice of policy; see
+// the harness throughput mode).
 func (d *DualBPlus) Query(q dual.MORQuery, emit func(dual.OID)) error {
-	d.candidates = 0
+	d.candidates.Store(0)
 	seen := make(map[dual.OID]struct{})
 	for _, g := range d.rot.Live() {
 		err := g.Query(q, func(id dual.OID) {
@@ -111,6 +117,30 @@ func (d *DualBPlus) Query(q dual.MORQuery, emit func(dual.OID)) error {
 	return nil
 }
 
+// Subqueries returns the independent pieces of one MOR query across all
+// live generations: per generation, either the two per-velocity-sign
+// observation scans (small queries) or the Lemma 1 decomposition — one
+// task per whole subterrain plus the endpoint fragments' sign scans. The
+// deduplicated union of the pieces' emissions equals Query's answer set.
+// Each piece reads only index pages, so the pieces may run concurrently
+// with each other (and with other queries), but not with Insert/Delete.
+func (d *DualBPlus) Subqueries(q dual.MORQuery) []func(emit func(dual.OID)) error {
+	var subs []func(emit func(dual.OID)) error
+	for _, g := range d.rot.Live() {
+		subs = append(subs, g.subqueries(q)...)
+	}
+	return subs
+}
+
+// QueryParallel answers q by running the decomposition's independent
+// subqueries on exec and merging deterministically: the returned OIDs are
+// sorted ascending and deduplicated, and the slice is identical for every
+// worker count — a single-worker executor is the sequential reference.
+func (d *DualBPlus) QueryParallel(exec *Executor, q dual.MORQuery) ([]dual.OID, error) {
+	d.candidates.Store(0)
+	return RunSubqueries(exec, d.Subqueries(q))
+}
+
 // dualBPGen is one generation.
 type dualBPGen struct {
 	cfg  DualBPlusConfig
@@ -120,12 +150,12 @@ type dualBPGen struct {
 	neg  []*bptree.Tree // per observation line, v < 0
 	sub  []*interval.Index
 	size int
-	cand *int // owner's candidate counter (may be nil)
+	cand *atomic.Int64 // owner's candidate counter (may be nil)
 }
 
 func (g *dualBPGen) countCandidate() {
 	if g.cand != nil {
-		*g.cand++
+		g.cand.Add(1)
 	}
 }
 
@@ -243,6 +273,30 @@ func (g *dualBPGen) eachResidence(m dual.Motion, fn func(i int, in, out float64)
 	return nil
 }
 
+// lemma1Split computes the whole-subterrain range [jLo, jHi) of the
+// Lemma 1 decomposition for a query wider than one subterrain.
+func (g *dualBPGen) lemma1Split(q dual.MORQuery) (jLo, jHi int) {
+	jLo = int(math.Ceil(q.Y1 / g.h))
+	jHi = int(math.Floor(q.Y2 / g.h))
+	if jHi > g.cfg.C {
+		jHi = g.cfg.C
+	}
+	if jLo < 0 {
+		jLo = 0
+	}
+	return jLo, jHi
+}
+
+// subterrainScan answers the time-overlap subquery of one whole subterrain
+// exactly from its interval index.
+func (g *dualBPGen) subterrainScan(j int, q dual.MORQuery, emit func(dual.OID)) error {
+	return g.sub[j].Overlapping(q.T1-g.tref, q.T2-g.tref, func(_, _ float64, v uint64) bool {
+		g.countCandidate()
+		emit(dual.OID(v))
+		return true
+	})
+}
+
 // Query answers the MOR query per §3.5.2.
 func (g *dualBPGen) Query(q dual.MORQuery, emit func(dual.OID)) error {
 	if q.Y2-q.Y1 <= g.h {
@@ -250,21 +304,9 @@ func (g *dualBPGen) Query(q dual.MORQuery, emit func(dual.OID)) error {
 	}
 	// Decompose: whole subterrains inside [Y1, Y2] answered exactly by the
 	// interval indexes; the two endpoint fragments are small queries.
-	jLo := int(math.Ceil(q.Y1 / g.h))
-	jHi := int(math.Floor(q.Y2 / g.h))
-	if jHi > g.cfg.C {
-		jHi = g.cfg.C
-	}
-	if jLo < 0 {
-		jLo = 0
-	}
+	jLo, jHi := g.lemma1Split(q)
 	for j := jLo; j < jHi; j++ {
-		err := g.sub[j].Overlapping(q.T1-g.tref, q.T2-g.tref, func(_, _ float64, v uint64) bool {
-			g.countCandidate()
-			emit(dual.OID(v))
-			return true
-		})
-		if err != nil {
+		if err := g.subterrainScan(j, q, emit); err != nil {
 			return err
 		}
 	}
@@ -288,32 +330,88 @@ func (g *dualBPGen) Query(q dual.MORQuery, emit func(dual.OID)) error {
 	return nil
 }
 
-// smallQuery answers a query whose spatial extent is at most one
-// subterrain via the observation index minimizing E (Equation 1), scanning
-// the approximating b-range (Figure 4) and filtering candidates exactly.
-func (g *dualBPGen) smallQuery(q dual.MORQuery, emit func(dual.OID)) error {
+// subqueries splits the query into its independent pieces: for a small
+// query the two per-velocity-sign observation scans; for a larger one the
+// Lemma 1 decomposition — one piece per whole subterrain plus the sign
+// scans of the two endpoint fragments. Running every piece and
+// deduplicating the union of emissions reproduces Query exactly.
+func (g *dualBPGen) subqueries(q dual.MORQuery) []func(emit func(dual.OID)) error {
+	if q.Y2-q.Y1 <= g.h {
+		return g.smallQueryPieces(q)
+	}
+	jLo, jHi := g.lemma1Split(q)
+	var subs []func(emit func(dual.OID)) error
+	for j := jLo; j < jHi; j++ {
+		j := j
+		subs = append(subs, func(emit func(dual.OID)) error {
+			return g.subterrainScan(j, q, emit)
+		})
+	}
+	if lo := float64(jLo) * g.h; q.Y1 <= lo {
+		sq := q
+		sq.Y2 = lo
+		subs = append(subs, g.smallQueryPieces(sq)...)
+	}
+	if hi := float64(jHi) * g.h; q.Y2 >= hi {
+		sq := q
+		sq.Y1 = hi
+		subs = append(subs, g.smallQueryPieces(sq)...)
+	}
+	return subs
+}
+
+// bestObservation returns the observation index minimizing the
+// enlargement E of Equation (1) for the query.
+func (g *dualBPGen) bestObservation(q dual.MORQuery) int {
 	best, bestE := 0, math.Inf(1)
 	for i := 0; i < g.cfg.C; i++ {
 		if e := dual.EnlargementE(q, g.yr(i), g.cfg.Terrain); e < bestE {
 			best, bestE = i, e
 		}
 	}
-	yr := g.yr(best)
+	return best
+}
+
+// signScan scans one velocity sign of one observation index over the
+// approximating b-range (Figure 4), filtering candidates exactly.
+func (g *dualBPGen) signScan(q dual.MORQuery, obs int, positive bool, emit func(dual.OID)) error {
+	yr := g.yr(obs)
+	bLo, bHi := dual.HoughYRect(q, yr, g.cfg.Terrain, positive)
+	return g.obs(obs, positive).Range(bLo-g.tref, bHi-g.tref, func(e bptree.Entry) bool {
+		g.countCandidate()
+		m := dual.MotionFromHoughY(dual.OID(e.Val), e.Aux, e.Key+g.tref, yr)
+		if m.Matches(q) {
+			emit(m.OID)
+		}
+		return true
+	})
+}
+
+// smallQuery answers a query whose spatial extent is at most one
+// subterrain via the observation index minimizing E (Equation 1), scanning
+// the approximating b-range (Figure 4) and filtering candidates exactly.
+func (g *dualBPGen) smallQuery(q dual.MORQuery, emit func(dual.OID)) error {
+	best := g.bestObservation(q)
 	for _, positive := range []bool{true, false} {
-		bLo, bHi := dual.HoughYRect(q, yr, g.cfg.Terrain, positive)
-		err := g.obs(best, positive).Range(bLo-g.tref, bHi-g.tref, func(e bptree.Entry) bool {
-			g.countCandidate()
-			m := dual.MotionFromHoughY(dual.OID(e.Val), e.Aux, e.Key+g.tref, yr)
-			if m.Matches(q) {
-				emit(m.OID)
-			}
-			return true
-		})
-		if err != nil {
+		if err := g.signScan(q, best, positive, emit); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// smallQueryPieces is smallQuery split into its two independent sign
+// scans, for concurrent execution.
+func (g *dualBPGen) smallQueryPieces(q dual.MORQuery) []func(emit func(dual.OID)) error {
+	best := g.bestObservation(q)
+	pieces := make([]func(emit func(dual.OID)) error, 0, 2)
+	for _, positive := range []bool{true, false} {
+		positive := positive
+		pieces = append(pieces, func(emit func(dual.OID)) error {
+			return g.signScan(q, best, positive, emit)
+		})
+	}
+	return pieces
 }
 
 // Destroy releases all pages of the generation.

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"mobidx/internal/dual"
+)
+
+// Executor runs independent subqueries on a bounded pool of workers. It is
+// the fan-out engine behind the parallel query paths (DualBPlus
+// QueryParallel and the 2-dimensional methods in package twod): a query is
+// decomposed into its independent pieces — the Lemma 1 subterrain and
+// endpoint subqueries, the per-velocity-sign observation scans, the
+// per-axis 1-dimensional queries of the 2D decomposition — and the pieces
+// run concurrently, each collecting into its own result bucket, with a
+// deterministic merge at the end.
+//
+// An Executor is stateless apart from its worker bound; one Executor may
+// be shared by any number of concurrent queries. With Workers() == 1 the
+// tasks run sequentially in submission order on the calling goroutine, so
+// a single-worker executor is the sequential reference implementation
+// against which the parallel paths are differential-tested.
+type Executor struct {
+	workers int
+}
+
+// NewExecutor returns an executor bounded to the given number of
+// concurrent workers. Zero (or negative) selects GOMAXPROCS.
+func NewExecutor(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers}
+}
+
+// Workers returns the concurrency bound.
+func (e *Executor) Workers() int { return e.workers }
+
+// Run executes every task, at most Workers() concurrently, and waits for
+// all of them. The first error encountered is returned (the remaining
+// tasks still run to completion, so no goroutine outlives Run). With one
+// worker the tasks run inline, in order, with no goroutines at all.
+func (e *Executor) Run(tasks []func() error) error {
+	if e.workers <= 1 || len(tasks) <= 1 {
+		var first error
+		for _, t := range tasks {
+			if err := t(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for _, t := range tasks {
+		t := t
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			if err := t(); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// MergeOIDs concatenates per-task result buckets, sorts ascending, and
+// removes duplicates in place. Because each subquery's emissions are
+// deterministic and scheduling only permutes whole buckets, the merged
+// slice is byte-identical for every worker count — the property the
+// differential tests pin down. Package twod uses it to merge its per-axis
+// and per-quadrant buckets.
+func MergeOIDs(buckets [][]dual.OID) []dual.OID {
+	n := 0
+	for _, b := range buckets {
+		n += len(b)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]dual.OID, 0, n)
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// RunSubqueries runs a set of emit-style subqueries on the executor, each
+// collecting into a private bucket, and returns the deterministic sorted,
+// deduplicated union of their emissions. It is the shared harness for
+// every parallel query path (1-dimensional here, 2-dimensional in package
+// twod).
+func RunSubqueries(exec *Executor, subs []func(emit func(dual.OID)) error) ([]dual.OID, error) {
+	buckets := make([][]dual.OID, len(subs))
+	tasks := make([]func() error, len(subs))
+	for i, sq := range subs {
+		i, sq := i, sq
+		tasks[i] = func() error {
+			return sq(func(id dual.OID) { buckets[i] = append(buckets[i], id) })
+		}
+	}
+	if err := exec.Run(tasks); err != nil {
+		return nil, err
+	}
+	return MergeOIDs(buckets), nil
+}

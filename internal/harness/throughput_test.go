@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"mobidx/internal/leakcheck"
+	"mobidx/internal/workload"
+)
+
+// TestRunThroughput exercises the serving loop end to end at a small
+// scale: all queries served, updates applied in proportion, sane latency
+// ordering. Scaling itself is asserted by the benchmark gate in
+// scripts/bench.sh, not here — CI machines make timing claims flaky.
+func TestRunThroughput(t *testing.T) {
+	leakcheck.Check(t)
+	for _, workers := range []int{1, 2, 4} {
+		res, err := RunThroughput(ThroughputConfig{
+			N:             4000,
+			Workers:       workers,
+			Queries:       600,
+			UpdatesPerSec: 50,
+			Mix:           workload.SmallQueries(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Queries != 600 {
+			t.Fatalf("workers=%d: served %d queries, want 600", workers, res.Queries)
+		}
+		if res.Workers != workers {
+			t.Fatalf("Workers = %d, want %d", res.Workers, workers)
+		}
+		if res.QPS <= 0 {
+			t.Fatalf("workers=%d: QPS = %v", workers, res.QPS)
+		}
+		if res.Updates == 0 {
+			t.Fatalf("workers=%d: writer applied no updates", workers)
+		}
+		if res.P50 > res.P99 {
+			t.Fatalf("workers=%d: p50 %v > p99 %v", workers, res.P50, res.P99)
+		}
+		if res.P50us <= 0 || res.P99us <= 0 {
+			t.Fatalf("workers=%d: microsecond percentiles not filled: %+v", workers, res)
+		}
+	}
+}
+
+func TestRunThroughputNoUpdates(t *testing.T) {
+	leakcheck.Check(t)
+	res, err := RunThroughput(ThroughputConfig{
+		N: 2000, Workers: 2, Queries: 200, UpdatesPerSec: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 0 {
+		t.Fatalf("updates applied with UpdateEvery<0: %d", res.Updates)
+	}
+	if res.Queries != 200 {
+		t.Fatalf("served %d queries, want 200", res.Queries)
+	}
+}
+
+func TestCheckParallelDifferential(t *testing.T) {
+	leakcheck.Check(t)
+	if err := CheckParallelDifferential(3000, 1999, []int{1, 2, 8, runtime.GOMAXPROCS(0)}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/leakcheck"
+	"mobidx/internal/pager"
+)
+
+// TestConcurrentSearchWithWriter is the serving-model stress test for the
+// k-d tree: SearchRect from several reader goroutines under RLock while a
+// single writer inserts and deletes under Lock. The readers verify their
+// answers against an oracle point set maintained under the same latch, so
+// any page-level corruption or racy read surfaces as a wrong answer (and
+// -race flags unsynchronized access outright).
+func TestConcurrentSearchWithWriter(t *testing.T) {
+	leakcheck.Check(t)
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	tr, err := New(pager.NewBuffered(pager.NewMemStore(512), 64), Config{World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.RWMutex // serving latch: searches RLock, inserts/deletes Lock
+	rng := rand.New(rand.NewSource(33))
+	alive := make(map[uint64]Point)
+	var nextVal uint64
+	addPoint := func() {
+		p := Point{X: rng.Float64() * 100, Y: rng.Float64() * 100, Val: nextVal}
+		nextVal++
+		if err := tr.Insert(p); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		alive[p.Val] = p
+	}
+	for i := 0; i < 400; i++ {
+		addPoint()
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(int64(100 + r)))
+			for !stop.Load() {
+				x1 := rrng.Float64() * 90
+				y1 := rrng.Float64() * 90
+				q := geom.Rect{MinX: x1, MinY: y1, MaxX: x1 + 10, MaxY: y1 + 10}
+				mu.RLock()
+				want := map[uint64]bool{}
+				for v, p := range alive {
+					if p.X >= q.MinX && p.X <= q.MaxX && p.Y >= q.MinY && p.Y <= q.MaxY {
+						want[v] = true
+					}
+				}
+				got := map[uint64]bool{}
+				err := tr.SearchRect(q, func(p Point) bool { got[p.Val] = true; return true })
+				mu.RUnlock()
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("reader %d: got %d points, want %d", r, len(got), len(want))
+					return
+				}
+				for v := range want {
+					if !got[v] {
+						t.Errorf("reader %d: missing point %d", r, v)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for round := 0; round < 300 && !t.Failed(); round++ {
+		mu.Lock()
+		if len(alive) > 200 && rng.Intn(2) == 0 {
+			// Delete a random live point.
+			for _, p := range alive {
+				ok, err := tr.Delete(p)
+				if err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				if !ok {
+					t.Fatalf("delete of live point %d reported absent", p.Val)
+				}
+				delete(alive, p.Val)
+				break
+			}
+		} else {
+			addPoint()
+		}
+		mu.Unlock()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if tr.Len() != len(alive) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(alive))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after stress: %v", err)
+	}
+}

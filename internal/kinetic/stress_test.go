@@ -1,0 +1,101 @@
+package kinetic
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mobidx/internal/dual"
+	"mobidx/internal/leakcheck"
+	"mobidx/internal/pager"
+)
+
+// TestStaggeredConcurrentReaders stresses the staggered kinetic pair under
+// the serving model: reader goroutines Query under RLock while the writer
+// Advances (rebuilding one of the two structures) under Lock. A Structure
+// is immutable once built, so readers only race with the swap itself —
+// which the latch serialises. Answers are checked against the closed-form
+// oracle at the queried instant.
+func TestStaggeredConcurrentReaders(t *testing.T) {
+	leakcheck.Check(t)
+	st := pager.NewMemStore(1024)
+	sg, err := NewStaggered(st, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(55))
+	objs := randObjects(rng, 400, 1000, 2)
+	// Build treats Y0 as the position at build time, so the snapshot
+	// advances each object to the writer's current time (Y0 in objs is the
+	// position at t=0; the oracle below uses the same convention).
+	buildTime := 0.0
+	snapshot := func() []Object {
+		out := make([]Object, len(objs))
+		for i, o := range objs {
+			out[i] = Object{OID: o.OID, Y0: o.Y0 + o.V*buildTime, V: o.V}
+		}
+		return out
+	}
+
+	var mu sync.RWMutex // queries RLock, Advance Lock
+	if err := sg.Advance(0, snapshot); err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0 // guarded by mu; readers must pick tq within the live window
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(int64(200 + r)))
+			for !stop.Load() {
+				yl := rrng.Float64()*1000 - 100
+				yh := yl + 120
+				frac := rrng.Float64()
+				mu.RLock()
+				tq := now + frac*49
+				want := map[dual.OID]bool{}
+				for _, o := range objs {
+					if y := o.Y0 + o.V*tq; y >= yl && y <= yh {
+						want[o.OID] = true
+					}
+				}
+				got := map[dual.OID]bool{}
+				err := sg.Query(yl, yh, tq, func(id dual.OID) { got[id] = true })
+				mu.RUnlock()
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("reader %d: got %d objects at t=%g, want %d",
+						r, len(got), tq, len(want))
+					return
+				}
+				for id := range want {
+					if !got[id] {
+						t.Errorf("reader %d: missing %d at t=%g", r, id, tq)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	for step := 1; step <= 30 && !t.Failed(); step++ {
+		cur := float64(step) * 10
+		mu.Lock()
+		buildTime = cur
+		if err := sg.Advance(cur, snapshot); err != nil {
+			t.Fatalf("advance to %g: %v", cur, err)
+		}
+		now = cur
+		mu.Unlock()
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,40 @@
+// Package leakcheck provides a goroutine-leak guard for the concurrency
+// stress tests: every stress test calls Check at its start, and at cleanup
+// time the goroutine count must return to its starting value. A worker
+// pool that forgets to drain, an executor that abandons tasks on error, or
+// a benchmark that leaves its updater running would all trip it.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if the count has not settled back to (at or below) the
+// snapshot within a grace period. The grace period absorbs goroutines
+// that are mid-exit when the test body returns — runtime bookkeeping can
+// lag the final channel receive by a scheduling quantum.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before test, %d after; stacks:\n%s",
+			before, after, buf[:n])
+	})
+}

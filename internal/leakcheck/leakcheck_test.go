@@ -1,0 +1,18 @@
+package leakcheck
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCheckPassesOnCleanExit verifies the guard stays quiet for a test
+// that drains all its goroutines.
+func TestCheckPassesOnCleanExit(t *testing.T) {
+	Check(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}

@@ -1,47 +1,103 @@
 package pager
 
 import (
-	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
-// Buffered wraps a Store with a small LRU buffer pool. Reads that hit the
-// pool cost nothing against the underlying store; this mirrors the paper's
+// Buffered wraps a Store with an LRU buffer pool. Reads that hit the pool
+// cost nothing against the underlying store; this mirrors the paper's
 // buffering scheme (§5), which keeps only the current root-to-leaf path
 // (3-4 pages) and clears the pool before every query.
 //
 // Writes go through to the underlying store immediately (write-through) and
 // refresh the cached copy, so the pool never holds stale data.
+//
+// The pool is sharded by page-id hash: each shard has its own latch, its
+// own capacity slice, and its own LRU clock, so concurrent readers of
+// different pages contend only within a shard and never on a global mutex.
+// Small pools (the paper's 3-4 page root-to-leaf buffer) collapse to a
+// single shard, which makes the eviction sequence exactly the classic
+// global LRU — the paper's I/O counts are reproduced bit-for-bit.
+//
+// Read hits are latch-light: a hit takes only the shard's read-latch
+// (shared, so hits on the same shard proceed in parallel), bumps the
+// frame's LRU position with a single atomic store, and copies the page
+// image outside the latch — frames are immutable once installed, so no
+// exclusive latch is ever taken on the read path.
 type Buffered struct {
-	mu      sync.Mutex
-	under   Store
-	cap     int
-	lru     *list.List               // front = most recently used; values are *bufEntry
-	entries map[PageID]*list.Element // page id -> lru element
+	under  Store
+	shards []bufShard
+	mask   uint32
+	cap    int
 }
 
-type bufEntry struct {
-	id   PageID
+// bufShard is one independently latched slice of the pool.
+type bufShard struct {
+	mu     sync.RWMutex
+	cap    int
+	clock  atomic.Int64
+	frames map[PageID]*bufFrame
+}
+
+// bufFrame is one cached page. data is immutable after installation — a
+// write installs a fresh frame rather than mutating in place, so a reader
+// that grabbed the frame under the read-latch can safely copy the bytes
+// after releasing it. tick is the frame's LRU position (larger = more
+// recently used), updated atomically on every hit.
+type bufFrame struct {
 	data []byte
+	tick atomic.Int64
 }
 
-// NewBuffered wraps under with an LRU pool holding capacity pages. A
-// capacity of zero disables caching entirely.
-func NewBuffered(under Store, capacity int) *Buffered {
-	return &Buffered{
-		under:   under,
-		cap:     capacity,
-		lru:     list.New(),
-		entries: make(map[PageID]*list.Element),
+// bufferShardCount picks the shard count for a pool of the given
+// capacity: one shard per 16 pages of capacity, capped at 16 shards, and
+// always a power of two so page ids map with a mask. Pools of fewer than
+// 32 pages use a single shard and behave exactly like an unsharded LRU.
+func bufferShardCount(capacity int) int {
+	n := 1
+	for n < 16 && n*32 <= capacity {
+		n <<= 1
 	}
+	return n
+}
+
+// NewBuffered wraps under with an LRU pool holding capacity pages in
+// total. A capacity of zero disables caching entirely.
+func NewBuffered(under Store, capacity int) *Buffered {
+	n := bufferShardCount(capacity)
+	b := &Buffered{
+		under:  under,
+		shards: make([]bufShard, n),
+		mask:   uint32(n - 1),
+		cap:    capacity,
+	}
+	base, rem := capacity/n, capacity%n
+	for i := range b.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		b.shards[i].cap = c
+		b.shards[i].frames = make(map[PageID]*bufFrame)
+	}
+	return b
+}
+
+// shard maps a page id to its shard. The multiplicative hash spreads
+// sequentially allocated ids across shards.
+func (b *Buffered) shard(id PageID) *bufShard {
+	return &b.shards[(uint32(id)*2654435761)&b.mask]
 }
 
 // Clear empties the pool; the paper clears buffers before timing a query.
 func (b *Buffered) Clear() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.lru.Init()
-	b.entries = make(map[PageID]*list.Element)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		sh.frames = make(map[PageID]*bufFrame)
+		sh.mu.Unlock()
+	}
 }
 
 // PageSize implements Store.
@@ -52,16 +108,19 @@ func (b *Buffered) Allocate() (*Page, error) { return b.under.Allocate() }
 
 // Read implements Store, serving from the pool when possible.
 func (b *Buffered) Read(id PageID) (*Page, error) {
-	b.mu.Lock()
-	if el, ok := b.entries[id]; ok {
-		b.lru.MoveToFront(el)
-		e := el.Value.(*bufEntry)
-		data := make([]byte, len(e.data))
-		copy(data, e.data)
-		b.mu.Unlock()
+	sh := b.shard(id)
+	sh.mu.RLock()
+	if f, ok := sh.frames[id]; ok {
+		// LRU touch is one atomic store; the image is copied after the
+		// latch drops (frames are immutable, see bufFrame).
+		f.tick.Store(sh.clock.Add(1))
+		src := f.data
+		sh.mu.RUnlock()
+		data := make([]byte, len(src))
+		copy(data, src)
 		return &Page{ID: id, Data: data}, nil
 	}
-	b.mu.Unlock()
+	sh.mu.RUnlock()
 	p, err := b.under.Read(id)
 	if err != nil {
 		return nil, err
@@ -79,38 +138,38 @@ func (b *Buffered) Write(p *Page) error {
 	return nil
 }
 
+// install caches a fresh immutable frame for the page, evicting the
+// shard's least-recently-used frames when over capacity.
 func (b *Buffered) install(id PageID, data []byte) {
 	if b.cap <= 0 {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if el, ok := b.entries[id]; ok {
-		e := el.Value.(*bufEntry)
-		copy(e.data, data)
-		b.lru.MoveToFront(el)
-		return
-	}
+	sh := b.shard(id)
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	el := b.lru.PushFront(&bufEntry{id: id, data: cp})
-	b.entries[id] = el
-	for b.lru.Len() > b.cap {
-		last := b.lru.Back()
-		e := last.Value.(*bufEntry)
-		delete(b.entries, e.id)
-		b.lru.Remove(last)
+	f := &bufFrame{data: cp}
+	sh.mu.Lock()
+	f.tick.Store(sh.clock.Add(1))
+	sh.frames[id] = f
+	for len(sh.frames) > sh.cap {
+		var victim PageID
+		min := int64(1<<63 - 1)
+		for vid, vf := range sh.frames {
+			if t := vf.tick.Load(); t < min {
+				min, victim = t, vid
+			}
+		}
+		delete(sh.frames, victim)
 	}
+	sh.mu.Unlock()
 }
 
 // Free implements Store, dropping any cached copy.
 func (b *Buffered) Free(id PageID) error {
-	b.mu.Lock()
-	if el, ok := b.entries[id]; ok {
-		delete(b.entries, id)
-		b.lru.Remove(el)
-	}
-	b.mu.Unlock()
+	sh := b.shard(id)
+	sh.mu.Lock()
+	delete(sh.frames, id)
+	sh.mu.Unlock()
 	return b.under.Free(id)
 }
 

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used in the paper's experiments (§5).
@@ -52,6 +53,27 @@ func (s Stats) IOs() int64 { return s.Reads + s.Writes }
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes,
 		Allocs: s.Allocs - t.Allocs, Frees: s.Frees - t.Frees}
+}
+
+// counters is the internal, atomically updated form of Stats. Stores bump
+// the counters with atomic adds so Stats() never needs a store's lock —
+// concurrent readers measuring I/O intervals don't contend with (or race
+// against) the operations they are measuring.
+type counters struct {
+	reads, writes, allocs, frees atomic.Int64
+}
+
+// snapshot returns the current values as a Stats. Each counter is read
+// atomically; the four reads together are not one atomic snapshot, which
+// is fine for a monotone set of counters (any interleaving yields values
+// that occurred, each at most the true current count).
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+	}
 }
 
 // Store is the storage abstraction: allocate, read, write and free pages,
@@ -91,13 +113,18 @@ var ErrReservedPage = errors.New("pager: reserved page")
 // MemStore is an in-memory Store. It is the default substrate for
 // experiments: I/Os are counted, not performed, exactly as needed to
 // reproduce the paper's I/O-count metrics at modern speeds.
+//
+// MemStore is safe for concurrent use. Reads take only a read-latch, so
+// parallel queries against disjoint (or shared, unmodified) pages scale
+// with cores; mutations take the exclusive latch. Statistics are atomic
+// counters — Stats() never blocks and never races.
 type MemStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
 	free     []PageID
 	next     PageID
-	stats    Stats
+	stats    counters
 }
 
 // NewMemStore returns an empty in-memory store with the given page size.
@@ -129,22 +156,22 @@ func (m *MemStore) Allocate() (*Page, error) {
 	}
 	buf := make([]byte, m.pageSize)
 	m.pages[id] = buf
-	m.stats.Allocs++
+	m.stats.allocs.Add(1)
 	// An allocation materializes the page in memory; the caller writes it
 	// out explicitly, so allocation itself costs no I/O.
 	data := make([]byte, m.pageSize)
 	return &Page{ID: id, Data: data}, nil
 }
 
-// Read implements Store.
+// Read implements Store. Concurrent reads share the read-latch.
 func (m *MemStore) Read(id PageID) (*Page, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	buf, ok := m.pages[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
-	m.stats.Reads++
+	m.stats.reads.Add(1)
 	data := make([]byte, m.pageSize)
 	copy(data, buf)
 	return &Page{ID: id, Data: data}, nil
@@ -158,7 +185,7 @@ func (m *MemStore) Write(p *Page) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, p.ID)
 	}
-	m.stats.Writes++
+	m.stats.writes.Add(1)
 	copy(buf, p.Data)
 	return nil
 }
@@ -181,7 +208,7 @@ func (m *MemStore) Free(id PageID) error {
 	}
 	delete(m.pages, id)
 	m.free = append(m.free, id)
-	m.stats.Frees++
+	m.stats.frees.Add(1)
 	return nil
 }
 
@@ -238,17 +265,15 @@ func (m *MemStore) Disown(id PageID) error {
 	return nil
 }
 
-// Stats implements Store.
-func (m *MemStore) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
+// Stats implements Store. It is lock-free: counters are read atomically,
+// so hammering Stats() during a build neither blocks the build nor races
+// with it.
+func (m *MemStore) Stats() Stats { return m.stats.snapshot() }
 
 // PagesInUse implements Store.
 func (m *MemStore) PagesInUse() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.pages)
 }
 
@@ -295,8 +320,13 @@ var ErrBadMeta = errors.New("pager: bad meta page")
 // persists that state; OpenFileStore recovers it, so an index built on a
 // FileStore survives process restarts. Experiments normally use MemStore
 // for speed.
+//
+// FileStore is safe for concurrent use. Reads take only a read-latch (the
+// underlying ReadAt is positional and thread-safe), so concurrent readers
+// proceed in parallel; every mutation takes the exclusive latch. Stats()
+// is lock-free.
 type FileStore struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	f        *os.File
 	pageSize int
 	free     []PageID
@@ -305,7 +335,7 @@ type FileStore struct {
 	user     []byte
 	ovPages  []PageID // overflow-chain pages referenced by the on-disk meta
 	closed   bool
-	stats    Stats
+	stats    counters
 }
 
 // NewFileStore creates (truncating) a file-backed store at path and writes
@@ -616,16 +646,18 @@ func (fs *FileStore) Allocate() (*Page, error) {
 		fs.next++
 	}
 	fs.live[id] = struct{}{}
-	fs.stats.Allocs++
+	fs.stats.allocs.Add(1)
 	return &Page{ID: id, Data: make([]byte, fs.pageSize)}, nil
 }
 
 // Read implements Store. Only a read past EOF of an allocated-but-never-
 // written page yields zeroes (the file simply hasn't grown that far); any
-// real I/O error propagates wrapped.
+// real I/O error propagates wrapped. Concurrent reads share the
+// read-latch; a write to the same page is excluded for its duration, so
+// readers never observe a torn page.
 func (fs *FileStore) Read(id PageID) (*Page, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if fs.closed {
 		return nil, ErrStoreClosed
 	}
@@ -645,7 +677,7 @@ func (fs *FileStore) Read(id PageID) (*Page, error) {
 	default:
 		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
-	fs.stats.Reads++
+	fs.stats.reads.Add(1)
 	return &Page{ID: id, Data: data}, nil
 }
 
@@ -665,7 +697,7 @@ func (fs *FileStore) Write(p *Page) error {
 	if _, err := fs.f.WriteAt(p.Data, fs.offset(p.ID)); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", p.ID, err)
 	}
-	fs.stats.Writes++
+	fs.stats.writes.Add(1)
 	return nil
 }
 
@@ -697,7 +729,7 @@ func (fs *FileStore) Free(id PageID) error {
 	}
 	delete(fs.live, id)
 	fs.free = append(fs.free, id)
-	fs.stats.Frees++
+	fs.stats.frees.Add(1)
 	return nil
 }
 
@@ -768,16 +800,12 @@ func (fs *FileStore) Disown(id PageID) error {
 	return nil
 }
 
-// Stats implements Store.
-func (fs *FileStore) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
-}
+// Stats implements Store. Lock-free: see MemStore.Stats.
+func (fs *FileStore) Stats() Stats { return fs.stats.snapshot() }
 
 // PagesInUse implements Store.
 func (fs *FileStore) PagesInUse() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return len(fs.live)
 }

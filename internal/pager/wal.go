@@ -419,7 +419,9 @@ type walBatch struct {
 //
 // Batches are a single-writer protocol: Begin/Commit/Rollback pairs must
 // come from one goroutine at a time. Individual operations are safe for
-// concurrent use.
+// concurrent use. Concurrent readers that must not observe the open
+// batch's staged state read through Snapshot(), which serves only
+// committed, checkpointed-or-replayed pages (see WALSnapshot).
 type WALStore struct {
 	mu       sync.Mutex
 	base     Store
@@ -435,7 +437,7 @@ type WALStore struct {
 
 	table map[PageID][]byte // committed page images not yet checkpointed
 	batch *walBatch
-	stats Stats
+	stats counters
 	fail  error // poisoned: volatile state diverged from the log
 	done  bool  // closed
 }
@@ -1040,11 +1042,8 @@ func (w *WALStore) PageSize() int { return w.pageSize }
 // Stats implements Store, reporting logical traffic: reads however served
 // (batch, table, or base) and writes/allocs/frees as staged. Physical base
 // traffic (deferred to checkpoints) is available from the base store.
-func (w *WALStore) Stats() Stats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.stats
-}
+// Lock-free: counters are atomic, so measuring never blocks operations.
+func (w *WALStore) Stats() Stats { return w.stats.snapshot() }
 
 // PagesInUse implements Store: live pages excluding the reserved WAL-meta
 // page and pages the open batch has staged to free.
@@ -1092,7 +1091,7 @@ func (w *WALStore) allocateLocked() (*Page, error) {
 	b := w.batch
 	b.allocs = append(b.allocs, p.ID)
 	b.allocSet[p.ID] = struct{}{}
-	w.stats.Allocs++
+	w.stats.allocs.Add(1)
 	return p, nil
 }
 
@@ -1116,7 +1115,7 @@ func (w *WALStore) Read(id PageID) (*Page, error) {
 		if img, ok := w.batch.writes[id]; ok {
 			data := make([]byte, len(img))
 			copy(data, img)
-			w.stats.Reads++
+			w.stats.reads.Add(1)
 			w.mu.Unlock()
 			return &Page{ID: id, Data: data}, nil
 		}
@@ -1124,12 +1123,66 @@ func (w *WALStore) Read(id PageID) (*Page, error) {
 	if img, ok := w.table[id]; ok {
 		data := make([]byte, len(img))
 		copy(data, img)
-		w.stats.Reads++
+		w.stats.reads.Add(1)
 		w.mu.Unlock()
 		return &Page{ID: id, Data: data}, nil
 	}
-	w.stats.Reads++
+	w.stats.reads.Add(1)
 	w.mu.Unlock()
+	return w.base.Read(id)
+}
+
+// WALSnapshot is a read-only view of a WALStore that provides the
+// read-snapshot guarantee for concurrent query serving: its reads see only
+// committed state — the committed page table (pages whose batch has
+// committed but not yet checkpointed) or the base store (checkpointed or
+// replayed pages) — never the staged writes, allocations, or frees of a
+// batch that is still open. A batch's mutations become visible to the
+// snapshot atomically when Commit applies them (commit application runs
+// entirely under the store's latch).
+//
+// The view is live, not frozen: it always reflects the latest committed
+// state. Readers holding a WALSnapshot can therefore run concurrently
+// with a writer goroutine that is staging a batch, and each read observes
+// either the pre-batch or the post-commit image of a page, never a
+// mixture and never uncommitted bytes.
+type WALSnapshot struct {
+	w *WALStore
+}
+
+// Snapshot returns the committed-reads view of the store. The returned
+// view is valid for the lifetime of the store and is safe for concurrent
+// use by any number of readers.
+func (w *WALStore) Snapshot() *WALSnapshot { return &WALSnapshot{w: w} }
+
+// PageSize returns the store's page size.
+func (s *WALSnapshot) PageSize() int { return s.w.pageSize }
+
+// Read fetches the committed image of the page: the committed table if the
+// page has a not-yet-checkpointed image, else the base store. Pages that
+// exist only as uncommitted staged allocations are not found; pages staged
+// to be freed in an open batch are still served (the free has not
+// committed).
+func (s *WALSnapshot) Read(id PageID) (*Page, error) {
+	w := s.w
+	w.mu.Lock()
+	if err := w.ok(); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	if id == w.metaPage {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("pager: read wal meta page %d: %w", id, ErrReservedPage)
+	}
+	if img, ok := w.table[id]; ok {
+		data := make([]byte, len(img))
+		copy(data, img)
+		w.mu.Unlock()
+		w.stats.reads.Add(1)
+		return &Page{ID: id, Data: data}, nil
+	}
+	w.mu.Unlock()
+	w.stats.reads.Add(1)
 	return w.base.Read(id)
 }
 
@@ -1172,7 +1225,7 @@ func (w *WALStore) writeLocked(p *Page) error {
 	img := make([]byte, w.pageSize)
 	copy(img, p.Data)
 	b.writes[p.ID] = img
-	w.stats.Writes++
+	w.stats.writes.Add(1)
 	return nil
 }
 
@@ -1218,6 +1271,6 @@ func (w *WALStore) freeLocked(id PageID) error {
 	}
 	b.freeSet[id] = struct{}{}
 	b.frees = append(b.frees, id)
-	w.stats.Frees++
+	w.stats.frees.Add(1)
 	return nil
 }

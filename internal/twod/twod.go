@@ -325,32 +325,51 @@ func constraints4(q MOR2Query, tref float64, tr Terrain2D, negX, negY bool) []kd
 	return cs
 }
 
+// quadScan searches one velocity quadrant's tree with the ℝ⁴ simplex and
+// filters candidates with the exact 2-dimensional predicate.
+func (g *kd4Gen) quadScan(quad int, q MOR2Query, emit func(dual.OID)) error {
+	negX := quad&1 != 0
+	negY := quad&2 != 0
+	cs := constraints4(q, g.tref, g.cfg.Terrain, negX, negY)
+	return g.quads[quad].SearchConstraints(cs, func(p kdnd.Point) bool {
+		// The conjunction of per-axis wedges over-approximates (the
+		// axis conditions may hold at different instants): filter with
+		// the exact 2-dimensional predicate reconstructed from the
+		// dual point.
+		m := Motion2D{
+			OID: dual.OID(p.Val),
+			X0:  p.Coords[1], Y0: p.Coords[3],
+			T0: g.tref,
+			VX: p.Coords[0], VY: p.Coords[2],
+		}
+		if m.Matches(q) {
+			emit(m.OID)
+		}
+		return true
+	})
+}
+
 func (g *kd4Gen) Query(q MOR2Query, emit func(dual.OID)) error {
 	for quad := 0; quad < 4; quad++ {
-		negX := quad&1 != 0
-		negY := quad&2 != 0
-		cs := constraints4(q, g.tref, g.cfg.Terrain, negX, negY)
-		err := g.quads[quad].SearchConstraints(cs, func(p kdnd.Point) bool {
-			// The conjunction of per-axis wedges over-approximates (the
-			// axis conditions may hold at different instants): filter with
-			// the exact 2-dimensional predicate reconstructed from the
-			// dual point.
-			m := Motion2D{
-				OID: dual.OID(p.Val),
-				X0:  p.Coords[1], Y0: p.Coords[3],
-				T0: g.tref,
-				VX: p.Coords[0], VY: p.Coords[2],
-			}
-			if m.Matches(q) {
-				emit(m.OID)
-			}
-			return true
-		})
-		if err != nil {
+		if err := g.quadScan(quad, q, emit); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// subqueries returns the four independent quadrant scans; an object lives
+// in exactly one quadrant tree, so the union of emissions is
+// duplicate-free and equals Query's answer.
+func (g *kd4Gen) subqueries(q MOR2Query) []func(emit func(dual.OID)) error {
+	subs := make([]func(emit func(dual.OID)) error, 0, 4)
+	for quad := 0; quad < 4; quad++ {
+		quad := quad
+		subs = append(subs, func(emit func(dual.OID)) error {
+			return g.quadScan(quad, q, emit)
+		})
+	}
+	return subs
 }
 
 func (g *kd4Gen) Destroy() error {

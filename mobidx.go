@@ -216,6 +216,29 @@ func OpenFileLog(path string) (*pager.FileLog, error) { return pager.OpenFileLog
 // structures use it around every multi-page mutation.
 func RunBatch(s Store, fn func() error) error { return pager.RunBatch(s, fn) }
 
+// Parallel query serving. An Executor fans a query's independent
+// subqueries — the Dual-B+ decomposition's per-subterrain scans, the 2D
+// methods' per-structure or per-axis scans — across a bounded pool of
+// goroutines; results are merged deterministically, so the answer is
+// byte-identical at every worker count. See QueryParallel on the Dual-B+
+// and 2D indexes. Serving concurrency (many queries against one index,
+// interleaved with updates) is the caller's readers-writer latch: queries
+// under RLock, updates under Lock.
+type (
+	// Executor bounds concurrent subquery execution.
+	Executor = core.Executor
+	// WALSnapshot is a read-only committed view of a WALStore: it serves
+	// the latest committed bytes of every page and never observes the
+	// staged writes or frees of an open batch. Obtained from
+	// WALStore.Snapshot.
+	WALSnapshot = pager.WALSnapshot
+)
+
+// NewExecutor returns an executor running at most workers subqueries
+// concurrently; workers <= 0 selects GOMAXPROCS, workers == 1 runs
+// inline with no goroutines.
+func NewExecutor(workers int) *Executor { return core.NewExecutor(workers) }
+
 // Record precision of the B+-tree based structures.
 const (
 	// WideRecords stores 8-byte keys (exact float64 round trips).

@@ -428,3 +428,81 @@ func TestPublicWALCrashRecovery(t *testing.T) {
 		}
 	}
 }
+
+// The public parallel-serving surface: QueryParallel through an Executor
+// must return exactly the sequential answer at every worker count, and a
+// WALSnapshot must serve committed bytes while a batch is open.
+func TestPublicParallelQuery(t *testing.T) {
+	ix, err := NewDualBPlusIndex(NewMemStore(0), DualBPlusConfig{Terrain: testTerrain, C: 4, Codec: WideRecords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 800; i++ {
+		v := testTerrain.VMin + (testTerrain.VMax-testTerrain.VMin)*rng.Float64()
+		if i%2 == 1 {
+			v = -v
+		}
+		if err := ix.Insert(Motion{OID: OID(i + 1), Y0: 1000 * rng.Float64(), T0: 0, V: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []Query{
+		{Y1: 100, Y2: 900, T1: 5, T2: 80}, // large: decomposes into subqueries
+		{Y1: 440, Y2: 460, T1: 10, T2: 25},
+	} {
+		want := collect(t, ix, q)
+		for _, workers := range []int{1, 2, 8} {
+			got, err := ix.QueryParallel(NewExecutor(workers), q)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: %d ids, want %d", workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: result %d is %d, want %d", workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPublicWALSnapshot(t *testing.T) {
+	ws, err := OpenWALStore(NewMemStore(256), NewMemLog(), WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ws.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Data {
+		p.Data[i] = 0xAA
+	}
+	if err := RunBatch(ws, func() error { return ws.Write(p) }); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *WALSnapshot = ws.Snapshot()
+	if err := ws.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Data {
+		p.Data[i] = 0xBB
+	}
+	if err := ws.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := snap.Read(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 0xAA {
+		t.Fatalf("snapshot observed a staged, uncommitted write: byte 0 = %#x", got.Data[0])
+	}
+	if err := ws.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}

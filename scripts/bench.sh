@@ -1,0 +1,23 @@
+#!/bin/sh
+# Parallel serving benchmark: runs mobbench -throughput (mixed
+# query/update workload at worker counts 1,2,4,8 over a simulated-latency
+# disk) and writes the machine-readable report to BENCH_parallel.json in
+# the repo root. The report includes queries/sec, p50/p99 latency, the
+# 4-vs-1 speedup, and the parallel-vs-sequential differential status.
+#
+# Knobs (defaults in parentheses) are forwarded from the environment:
+#   TP_N        object count (20000)
+#   TP_QUERIES  queries per worker count (4000)
+#   TP_WORKERS  comma-separated worker counts (1,2,4,8)
+#   TP_IO       simulated latency per buffer-pool miss (150us)
+#   BENCH_OUT   output path (BENCH_parallel.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/mobbench -throughput \
+	-tpn "${TP_N:-20000}" \
+	-tpqueries "${TP_QUERIES:-4000}" \
+	-tpworkers "${TP_WORKERS:-1,2,4,8}" \
+	-tpio "${TP_IO:-150us}" \
+	-benchout "${BENCH_OUT:-BENCH_parallel.json}"

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repo verification gate: formatting, vet, build, full tests, and the
-# pager robustness suite under the race detector.
+# Repo verification gate: formatting, vet, build, full tests (shuffled),
+# the concurrency suites under the race detector, a GOMAXPROCS stress
+# matrix for the parallel serving paths, and fuzz smoke tests.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,11 +20,25 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled) =="
+go test -shuffle=on ./...
 
-echo "== go test -race (storage layer) =="
-go test -race ./internal/pager/...
+echo "== go test -race (storage + parallel query layers) =="
+go test -race ./internal/pager/... ./internal/core/... ./internal/twod/... \
+	./internal/kdtree/... ./internal/kinetic/... ./internal/harness/... \
+	./internal/leakcheck/...
+
+echo "== stress matrix (GOMAXPROCS=1,4) =="
+# The concurrency tests must hold both when goroutines interleave on one
+# processor (maximal context-switch churn) and when they run truly in
+# parallel. -count=1 defeats the test cache so both settings really run.
+for procs in 1 4; do
+	echo "-- GOMAXPROCS=$procs --"
+	GOMAXPROCS=$procs go test -count=1 \
+		-run 'Concurrent|Parallel|Stress|Snapshot|StatsDuringBuild|Executor|Throughput' \
+		./internal/pager ./internal/core ./internal/twod \
+		./internal/kdtree ./internal/kinetic ./internal/harness
+done
 
 echo "== fuzz smoke =="
 go test ./internal/bptree -run '^$' -fuzz '^FuzzDecodeNode$' -fuzztime=10s
