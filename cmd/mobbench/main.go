@@ -37,12 +37,25 @@ func main() {
 		tpN        = flag.Int("tpn", 20000, "object count for -throughput")
 		tpQueries  = flag.Int("tpqueries", 4000, "queries served per worker count in -throughput")
 		tpIO       = flag.Duration("tpio", 150*time.Microsecond, "simulated disk latency per buffer-pool miss in -throughput (0 = in-memory)")
+		tpRebuild  = flag.Bool("tprebuild", false, "perform a mid-run bulk reindex in each -throughput run")
 		benchOut   = flag.String("benchout", "BENCH_parallel.json", "output file for the -throughput report")
+
+		build    = flag.Bool("build", false, "run the incremental-vs-bulk construction benchmark instead of the figures")
+		buildN   = flag.Int("buildn", 100000, "records per structure for -build")
+		buildOut = flag.String("buildout", "BENCH_build.json", "output file for the -build report")
 	)
 	flag.Parse()
 
+	if *build {
+		if err := runBuild(*buildN, *buildOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mobbench: build: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *throughput {
-		if err := runThroughput(*tpWorkers, *tpN, *tpQueries, *tpIO, *benchOut); err != nil {
+		if err := runThroughput(*tpWorkers, *tpN, *tpQueries, *tpIO, *tpRebuild, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mobbench: throughput: %v\n", err)
 			os.Exit(1)
 		}
@@ -139,7 +152,7 @@ func main() {
 // and writes the machine-readable report (QPS, p50/p99 latency, 4-vs-1
 // speedup, and the result of the parallel-vs-sequential differential
 // check) to outPath.
-func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, outPath string) error {
+func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, rebuild bool, outPath string) error {
 	workers, err := parseInts(workersCSV)
 	if err != nil {
 		return fmt.Errorf("bad -tpworkers: %w", err)
@@ -153,6 +166,7 @@ func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, outPa
 		Queries      int                         `json:"queries_per_run"`
 		IOLatencyUs  float64                     `json:"io_latency_us"`
 		GOMAXPROCS   int                         `json:"gomaxprocs"`
+		Rebuild      bool                        `json:"rebuild"`
 		Runs         []*harness.ThroughputResult `json:"runs"`
 		Speedup4v1   float64                     `json:"speedup_4v1,omitempty"`
 		Differential string                      `json:"differential"`
@@ -160,20 +174,25 @@ func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, outPa
 	rep := report{
 		N: n, Queries: queries, GOMAXPROCS: runtime.GOMAXPROCS(0),
 		IOLatencyUs: float64(ioLat.Nanoseconds()) / 1e3,
+		Rebuild:     rebuild,
 	}
 
 	qpsAt := map[int]float64{}
 	for _, w := range workers {
 		res, err := harness.RunThroughput(harness.ThroughputConfig{
-			N: n, Workers: w, Queries: queries, IOLatency: ioLat,
+			N: n, Workers: w, Queries: queries, IOLatency: ioLat, Rebuild: rebuild,
 		})
 		if err != nil {
 			return fmt.Errorf("workers=%d: %w", w, err)
 		}
 		rep.Runs = append(rep.Runs, res)
 		qpsAt[w] = res.QPS
-		fmt.Printf("  workers=%-2d  %8.0f q/s   p50 %8s   p99 %8s   (%d updates interleaved)\n",
+		fmt.Printf("  workers=%-2d  %8.0f q/s   p50 %8s   p99 %8s   (%d updates interleaved",
 			w, res.QPS, res.P50, res.P99, res.Updates)
+		if res.Rebuilds > 0 {
+			fmt.Printf(", bulk reindex held the latch %.1f ms", res.RebuildMs)
+		}
+		fmt.Println(")")
 	}
 	if qpsAt[1] > 0 && qpsAt[4] > 0 {
 		rep.Speedup4v1 = qpsAt[4] / qpsAt[1]
@@ -198,6 +217,35 @@ func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, outPa
 	fmt.Printf("  wrote %s\n", outPath)
 	if rep.Differential != "ok" {
 		return fmt.Errorf("differential check failed: %s", rep.Differential)
+	}
+	return nil
+}
+
+// runBuild measures incremental vs bulk construction for every access
+// method and writes the machine-readable report to outPath.
+func runBuild(n int, outPath string) error {
+	fmt.Printf("Build benchmark: %d records per structure, incremental vs bulk\n", n)
+	fmt.Printf("  %-10s %-11s  %11s  %17s  %18s  %15s  %12s\n",
+		"structure", "method", "wall", "logical I/Os", "physical I/Os", "allocated", "pages")
+	rep, err := harness.RunBuildBench(harness.BuildBenchConfig{N: n}, func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  B+-tree (B=%d): bulk load does %.1fx fewer physical page I/Os than incremental\n",
+		rep.BPTreeLeafB, rep.BPTreeIOReduction)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	if rep.BPTreeIOReduction < 5 {
+		return fmt.Errorf("bptree physical I/O reduction %.1fx below the 5x gate", rep.BPTreeIOReduction)
 	}
 	return nil
 }

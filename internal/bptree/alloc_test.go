@@ -1,0 +1,123 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobidx/internal/pager"
+)
+
+// allocTree builds a Compact tree of n entries behind a buffer pool large
+// enough to hold it whole, then warms the pool, so the measured loops run
+// against the steady-state serving configuration: every descent is a pool
+// hit served through the zero-copy view path.
+func allocTree(t testing.TB, n int) (*Tree, []Entry) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1999))
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Key: Compact.roundKey(rng.Float64() * 1000), Val: uint64(i), Aux: Compact.roundKey(rng.Float64())}
+	}
+	SortEntries(es)
+	tr, err := New(pager.NewBuffered(pager.NewMemStore(4096), 4096), Config{Codec: Compact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoadSorted(es, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es[:64] {
+		if _, _, err := tr.Get(e.Key, e.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, es
+}
+
+// The regression gate for the tentpole claim: a steady-state point query
+// performs zero heap allocations above the buffer pool.
+func TestPointQueryZeroAlloc(t *testing.T) {
+	tr, es := allocTree(t, 50000)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		e := es[i%len(es)]
+		i++
+		if _, _, err := tr.Get(e.Key, e.Val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("point query allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// A range scan into a caller-owned buffer with sufficient capacity must
+// also run allocation-free.
+func TestRangeAppendZeroAlloc(t *testing.T) {
+	tr, es := allocTree(t, 50000)
+	buf := make([]Entry, 0, 4096)
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		lo := es[(i*37)%len(es)].Key
+		i++
+		var err error
+		buf, err = tr.RangeAppend(buf[:0], lo, lo+0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RangeAppend allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	tr, es := allocTree(b, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := es[i%len(es)]
+		if _, _, err := tr.Get(e.Key, e.Val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEntries(n int) []Entry {
+	rng := rand.New(rand.NewSource(7))
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Key: rng.Float64() * 1000, Val: uint64(i), Aux: rng.Float64()}
+	}
+	return es
+}
+
+func BenchmarkBuildIncremental(b *testing.B) {
+	es := benchEntries(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := New(pager.NewBuffered(pager.NewMemStore(4096), 64), Config{Codec: Compact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range es {
+			if err := tr.Insert(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBuildBulk(b *testing.B) {
+	es := benchEntries(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := New(pager.NewBuffered(pager.NewMemStore(4096), 64), Config{Codec: Compact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.BulkLoad(es, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

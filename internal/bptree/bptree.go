@@ -81,6 +81,12 @@ func (c Codec) roundKey(k float64) float64 {
 	return k
 }
 
+// RoundKey maps a key (or Aux) to the value it will compare as after a
+// round trip through the codec. Callers preparing input for BulkLoadSorted
+// round with it before sorting, so the tree can skip its own copy-and-sort
+// pass.
+func (c Codec) RoundKey(k float64) float64 { return c.roundKey(k) }
+
 // Config configures a tree.
 type Config struct {
 	Codec Codec
@@ -302,7 +308,8 @@ func (t *Tree) encodeEntry(b []byte, e Entry) {
 }
 
 func (t *Tree) writeNode(n *node) error {
-	data := make([]byte, t.store.PageSize())
+	pb := pager.GetPageBuf(t.store.PageSize())
+	data := pb.B
 	if n.leaf {
 		data[0] = typeLeaf
 		binary.LittleEndian.PutUint16(data[2:4], uint16(len(n.entries)))
@@ -333,7 +340,9 @@ func (t *Tree) writeNode(n *node) error {
 			}
 		}
 	}
-	return t.store.Write(&pager.Page{ID: n.id, Data: data})
+	err := t.store.Write(&pager.Page{ID: n.id, Data: data})
+	pb.Release()
+	return err
 }
 
 func (t *Tree) allocNode(leaf bool) (*node, error) {
@@ -505,22 +514,28 @@ func (t *Tree) insertAt(id pager.PageID, e Entry, height int) (float64, uint64, 
 	return upK, upV, right.id, nil
 }
 
-// BulkLoad replaces the tree's contents with the given entries, building
-// bottom-up with leaves packed to the given fill fraction (0 selects 0.9;
-// full packing would make the very next inserts split every leaf). The
-// entries need not be sorted.
-func (t *Tree) BulkLoad(entries []Entry, fill float64) error {
+// normFill validates a fill fraction; zero selects 0.9 (full packing
+// would make the very next inserts split every leaf).
+func normFill(fill float64) (float64, error) {
 	if fill == 0 {
 		fill = 0.9
 	}
 	if fill <= 0 || fill > 1 {
-		return fmt.Errorf("bptree: fill fraction %v outside (0, 1]", fill)
+		return 0, fmt.Errorf("bptree: fill fraction %v outside (0, 1]", fill)
 	}
-	return pager.RunBatch(t.store, func() error { return t.bulkLoad(entries, fill) })
+	return fill, nil
 }
 
-func (t *Tree) bulkLoad(entries []Entry, fill float64) error {
-	if err := t.destroy(t.root, t.height); err != nil {
+// BulkLoad replaces the tree's contents with the given entries, building
+// bottom-up with leaves packed to the given fill fraction: the entries
+// are sorted once, the leaf level is emitted left to right, and each
+// internal level is packed from the level below — one sequential page
+// write per node, against O(n log_B n) page I/Os for n root-to-leaf
+// Inserts. The entries need not be sorted; the input slice is not
+// modified.
+func (t *Tree) BulkLoad(entries []Entry, fill float64) error {
+	fill, err := normFill(fill)
+	if err != nil {
 		return err
 	}
 	es := make([]Entry, len(entries))
@@ -528,7 +543,41 @@ func (t *Tree) bulkLoad(entries []Entry, fill float64) error {
 		es[i] = Entry{Key: t.codec.roundKey(e.Key), Val: e.Val, Aux: t.codec.roundKey(e.Aux)}
 	}
 	sortEntries(es)
+	return pager.RunBatch(t.store, func() error { return t.bulkLoad(es, fill) })
+}
 
+// BulkLoadSorted is BulkLoad for entries already in (Key, Val) order with
+// keys and aux values already at codec precision (SortEntries on
+// codec-rounded entries produces exactly this). It skips the copy and the
+// sort — the fast path for dataset generators that emit sorted runs — and
+// fails without touching the tree if the input breaks either premise.
+func (t *Tree) BulkLoadSorted(entries []Entry, fill float64) error {
+	fill, err := normFill(fill)
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		if t.codec.roundKey(e.Key) != e.Key || t.codec.roundKey(e.Aux) != e.Aux {
+			return fmt.Errorf("bptree: BulkLoadSorted entry %d not at codec precision", i)
+		}
+		if i > 0 && e.less(entries[i-1].Key, entries[i-1].Val) {
+			return fmt.Errorf("bptree: BulkLoadSorted entries out of order at %d", i)
+		}
+	}
+	return pager.RunBatch(t.store, func() error { return t.bulkLoad(entries, fill) })
+}
+
+// SortEntries sorts entries in place by (Key, Val) — the order
+// BulkLoadSorted requires — with one scratch allocation regardless of
+// input size.
+func SortEntries(es []Entry) { sortEntries(es) }
+
+// bulkLoad packs sorted, codec-rounded entries bottom-up. es is read, not
+// modified or retained.
+func (t *Tree) bulkLoad(es []Entry, fill float64) error {
+	if err := t.destroy(t.root, t.height); err != nil {
+		return err
+	}
 	perLeaf := int(fill * float64(t.leafCap))
 	if perLeaf < 1 {
 		perLeaf = 1

@@ -1,0 +1,201 @@
+// Zero-allocation read path. Point lookups and range scans descend the
+// tree over raw page images obtained through pager.ViewBytes — binary
+// searching the encoded separators and entries in place instead of
+// decoding every node into a fresh *node — so a steady-state query whose
+// pages sit in the buffer pool performs no heap allocation at all. The
+// AllocsPerRun gates in alloc_test.go hold this path to exactly zero
+// allocs per op; the decoding Range/Floor path in bptree.go remains the
+// reference implementation it is differential-tested against.
+package bptree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mobidx/internal/pager"
+)
+
+// checkImage bounds-checks a raw page image of the expected node type and
+// returns its entry count. Same guarantees as decode: a corrupted page
+// yields a typed error wrapping pager.ErrPageCorrupt, never a panic.
+func (t *Tree) checkImage(d []byte, id pager.PageID, wantLeaf bool) (int, error) {
+	if len(d) < headerSize+4 {
+		return 0, fmt.Errorf("bptree: page %d: %d bytes, want >= %d: %w",
+			id, len(d), headerSize+4, pager.ErrPageCorrupt)
+	}
+	want := byte(typeInternal)
+	if wantLeaf {
+		want = typeLeaf
+	}
+	if d[0] != want {
+		return 0, fmt.Errorf("bptree: page %d: node type %d, want %d: %w",
+			id, d[0], want, pager.ErrPageCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint16(d[2:4]))
+	var cap int
+	if wantLeaf {
+		cap = (len(d) - headerSize) / t.codec.leafEntrySize()
+	} else {
+		cap = (len(d) - headerSize - 4) / t.codec.intEntrySize()
+	}
+	if count > cap {
+		return 0, fmt.Errorf("bptree: page %d: count %d exceeds page capacity %d: %w",
+			id, count, cap, pager.ErrPageCorrupt)
+	}
+	return count, nil
+}
+
+// sepAt decodes separator i's composite (key, val) from an internal page
+// image.
+func (t *Tree) sepAt(d []byte, i int) (float64, uint64) {
+	if t.codec == Compact {
+		off := headerSize + 4 + i*12
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(d[off:]))),
+			uint64(binary.LittleEndian.Uint32(d[off+4:]))
+	}
+	off := headerSize + 4 + i*20
+	return math.Float64frombits(binary.LittleEndian.Uint64(d[off:])),
+		binary.LittleEndian.Uint64(d[off+8:])
+}
+
+// childAt decodes child slot ci (0..count) from an internal page image.
+func (t *Tree) childAt(d []byte, ci int) pager.PageID {
+	if ci == 0 {
+		return pager.PageID(binary.LittleEndian.Uint32(d[headerSize:]))
+	}
+	es := t.codec.intEntrySize()
+	off := headerSize + 4 + (ci-1)*es + es - 4
+	return pager.PageID(binary.LittleEndian.Uint32(d[off:]))
+}
+
+// imageChildIndex is childIndex over an internal page image: the first
+// child whose separator exceeds (k, v); composites equal to a separator
+// descend right of it.
+func (t *Tree) imageChildIndex(d []byte, count int, k float64, v uint64) int {
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		sk, sv := t.sepAt(d, mid)
+		if sk < k || (sk == k && sv <= v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafKV decodes leaf entry i's composite (key, val) from a page image.
+func (t *Tree) leafKV(d []byte, i int) (float64, uint64) {
+	if t.codec == Compact {
+		off := headerSize + i*12
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(d[off:]))),
+			uint64(binary.LittleEndian.Uint32(d[off+8:]))
+	}
+	off := headerSize + i*24
+	return math.Float64frombits(binary.LittleEndian.Uint64(d[off:])),
+		binary.LittleEndian.Uint64(d[off+16:])
+}
+
+// imageLowerBound is lowerBound over a leaf page image: the first index
+// whose entry is >= (k, v).
+func (t *Tree) imageLowerBound(d []byte, count int, k float64, v uint64) int {
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ek, ev := t.leafKV(d, mid)
+		if ek < k || (ek == k && ev < v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// descendToLeaf walks internal levels toward the leaf that would hold
+// composite (k, v), over raw page images.
+func (t *Tree) descendToLeaf(k float64, v uint64) (pager.PageID, error) {
+	id := t.root
+	for h := t.height; h > 1; h-- {
+		d, err := pager.ViewBytes(t.store, id)
+		if err != nil {
+			return pager.NilPage, err
+		}
+		count, err := t.checkImage(d, id, false)
+		if err != nil {
+			return pager.NilPage, err
+		}
+		kid := t.childAt(d, t.imageChildIndex(d, count, k, v))
+		if kid == pager.NilPage {
+			return pager.NilPage, fmt.Errorf("bptree: page %d: nil child pointer: %w", id, pager.ErrPageCorrupt)
+		}
+		id = kid
+	}
+	return id, nil
+}
+
+// Get returns the entry with exactly the given (key, val) composite, in
+// one root-to-leaf descent over raw page images: the steady-state point
+// query performs zero heap allocations when the path is resident in the
+// buffer pool. The key is compared after codec rounding.
+func (t *Tree) Get(key float64, val uint64) (Entry, bool, error) {
+	key = t.codec.roundKey(key)
+	id, err := t.descendToLeaf(key, val)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	d, err := pager.ViewBytes(t.store, id)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	count, err := t.checkImage(d, id, true)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	i := t.imageLowerBound(d, count, key, val)
+	if i >= count {
+		return Entry{}, false, nil
+	}
+	ek, ev := t.leafKV(d, i)
+	if ek != key || ev != val {
+		return Entry{}, false, nil
+	}
+	es := t.codec.leafEntrySize()
+	return t.decodeEntry(d[headerSize+i*es : headerSize+(i+1)*es]), true, nil
+}
+
+// RangeAppend appends every entry with lo <= key <= hi to dst, in (key,
+// val) order, and returns the extended slice. It is Range with a
+// caller-owned result buffer: when dst has capacity for the answer and
+// the scanned path is pool-resident, the call performs zero heap
+// allocations. Keys are compared after codec rounding.
+func (t *Tree) RangeAppend(dst []Entry, lo, hi float64) ([]Entry, error) {
+	lo = t.codec.roundKey(lo)
+	hi = t.codec.roundKey(hi)
+	id, err := t.descendToLeaf(lo, 0)
+	if err != nil {
+		return dst, err
+	}
+	for id != pager.NilPage {
+		d, err := pager.ViewBytes(t.store, id)
+		if err != nil {
+			return dst, err
+		}
+		count, err := t.checkImage(d, id, true)
+		if err != nil {
+			return dst, err
+		}
+		es := t.codec.leafEntrySize()
+		for i := t.imageLowerBound(d, count, lo, 0); i < count; i++ {
+			e := t.decodeEntry(d[headerSize+i*es : headerSize+(i+1)*es])
+			if e.Key > hi {
+				return dst, nil
+			}
+			dst = append(dst, e)
+		}
+		id = pager.PageID(binary.LittleEndian.Uint32(d[4:8]))
+	}
+	return dst, nil
+}

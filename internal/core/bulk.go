@@ -1,0 +1,243 @@
+// Bulk (re)construction of the assembled indexes. A full reindex — the
+// paper's workload after a terrain-wide batch of forced updates, or the
+// serving layer refreshing a replica — pays the per-motion descent cost c
+// times over in DualBPlus if done with Insert. The BulkLoad entry points
+// instead group motions by rotation epoch, materialize every underlying
+// tree's entries in memory, sort each slice once, and hand them to the
+// structures' bottom-up builders, writing every index page exactly once.
+package core
+
+import (
+	"slices"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/dual"
+	"mobidx/internal/kdtree"
+	"mobidx/internal/pager"
+	"mobidx/internal/parttree"
+	"mobidx/internal/rstar"
+)
+
+// reset destroys every live generation, leaving the rotator empty.
+func (r *Rotator[M, G]) reset() error {
+	for e, g := range r.gens {
+		if err := g.Destroy(); err != nil {
+			return err
+		}
+		delete(r.gens, e)
+	}
+	r.size = 0
+	return nil
+}
+
+// groupByEpoch partitions motions by their rotation epoch, preserving
+// input order within each group.
+func (r *Rotator[M, G]) groupByEpoch(ms []M) map[int64][]M {
+	groups := make(map[int64][]M)
+	for _, m := range ms {
+		e := r.epoch(r.updTime(m))
+		groups[e] = append(groups[e], m)
+	}
+	return groups
+}
+
+// BulkLoad replaces the index's contents with the given motions using the
+// B+-trees' bottom-up builders: per generation, each of the 2c observation
+// trees and c interval indexes receives its full entry slice, sorted once,
+// and is packed leaf-by-leaf. On a batching store the whole reindex
+// commits atomically. The input slice is not modified.
+func (d *DualBPlus) BulkLoad(ms []dual.Motion) error {
+	for _, m := range ms {
+		if err := validateMotion(m, d.cfg.Terrain); err != nil {
+			return err
+		}
+	}
+	return pager.RunBatch(d.store, func() error {
+		if err := d.rot.reset(); err != nil {
+			return err
+		}
+		for e, group := range d.rot.groupByEpoch(ms) {
+			g, err := d.rot.make(float64(e) * d.rot.period)
+			if err != nil {
+				return err
+			}
+			if err := g.bulkLoad(group); err != nil {
+				return err
+			}
+			d.rot.gens[e] = g
+			d.rot.size += len(group)
+		}
+		return nil
+	})
+}
+
+// bulkLoad fills a fresh generation's trees bottom-up from the motions of
+// its epoch.
+func (g *dualBPGen) bulkLoad(ms []dual.Motion) error {
+	c := g.cfg.C
+	codec := g.cfg.Codec
+	pos := make([][]bptree.Entry, c)
+	neg := make([][]bptree.Entry, c)
+	sub := make([][]bptree.Entry, c)
+	for _, m := range ms {
+		for i := 0; i < c; i++ {
+			_, b := dual.HoughY(m, g.yr(i))
+			e := bptree.Entry{
+				Key: codec.RoundKey(b - g.tref),
+				Val: uint64(m.OID),
+				Aux: codec.RoundKey(m.V),
+			}
+			if m.V > 0 {
+				pos[i] = append(pos[i], e)
+			} else {
+				neg[i] = append(neg[i], e)
+			}
+		}
+		err := g.eachResidence(m, func(i int, in, out float64) error {
+			sub[i] = append(sub[i], bptree.Entry{
+				Key: codec.RoundKey(in - g.tref),
+				Val: uint64(m.OID),
+				Aux: codec.RoundKey(out - g.tref),
+			})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for i := 0; i < c; i++ {
+		bptree.SortEntries(pos[i])
+		if err := g.pos[i].BulkLoadSorted(pos[i], 0); err != nil {
+			return err
+		}
+		bptree.SortEntries(neg[i])
+		if err := g.neg[i].BulkLoadSorted(neg[i], 0); err != nil {
+			return err
+		}
+		bptree.SortEntries(sub[i])
+		if err := g.sub[i].BulkLoadSorted(sub[i], 0); err != nil {
+			return err
+		}
+	}
+	g.size = len(ms)
+	return nil
+}
+
+// QueryAppend answers q like Query but appends the matching OIDs to dst,
+// returning the extended slice with the appended tail sorted ascending and
+// deduplicated (the same order QueryParallel produces). A serving loop
+// that reuses dst's capacity avoids the per-call result-set and seen-map
+// allocations Query pays.
+func (d *DualBPlus) QueryAppend(dst []dual.OID, q dual.MORQuery) ([]dual.OID, error) {
+	d.candidates.Store(0)
+	base := len(dst)
+	for _, g := range d.rot.Live() {
+		if err := g.Query(q, func(id dual.OID) { dst = append(dst, id) }); err != nil {
+			return dst, err
+		}
+	}
+	tail := dst[base:]
+	slices.Sort(tail)
+	return dst[:base+len(slices.Compact(tail))], nil
+}
+
+// BulkLoad replaces the index's contents with the given motions, packing
+// each generation's two k-d trees with their bottom-up builder. On a
+// batching store the reindex commits atomically.
+func (k *KDDual) BulkLoad(ms []dual.Motion) error {
+	for _, m := range ms {
+		if err := validateMotion(m, k.cfg.Terrain); err != nil {
+			return err
+		}
+	}
+	return pager.RunBatch(k.store, func() error {
+		if err := k.rot.reset(); err != nil {
+			return err
+		}
+		for e, group := range k.rot.groupByEpoch(ms) {
+			g, err := k.rot.make(float64(e) * k.rot.period)
+			if err != nil {
+				return err
+			}
+			pos := make([]kdtree.Point, 0, len(group))
+			neg := make([]kdtree.Point, 0, len(group))
+			for _, m := range group {
+				p := dual.HoughX(m, g.tref)
+				pt := kdtree.Point{X: p.X, Y: p.Y, Val: uint64(m.OID)}
+				if m.V > 0 {
+					pos = append(pos, pt)
+				} else {
+					neg = append(neg, pt)
+				}
+			}
+			if err := g.pos.BulkLoad(pos, 0); err != nil {
+				return err
+			}
+			if err := g.neg.BulkLoad(neg, 0); err != nil {
+				return err
+			}
+			g.size = len(group)
+			k.rot.gens[e] = g
+			k.rot.size += len(group)
+		}
+		return nil
+	})
+}
+
+// BulkLoad replaces the index's contents with the given motions, building
+// each generation's two partition trees as single static blocks — the
+// construction the logarithmic method converges to, without paying its
+// amortized rebuilds.
+func (p *PartTreeDual) BulkLoad(ms []dual.Motion) error {
+	for _, m := range ms {
+		if err := validateMotion(m, p.cfg.Terrain); err != nil {
+			return err
+		}
+	}
+	if err := p.rot.reset(); err != nil {
+		return err
+	}
+	for e, group := range p.rot.groupByEpoch(ms) {
+		g, err := p.rot.make(float64(e) * p.rot.period)
+		if err != nil {
+			return err
+		}
+		var pp, np []parttree.Point
+		for _, m := range group {
+			pt := dual.HoughX(m, g.tref)
+			q := parttree.Point{X: pt.X, Y: pt.Y, Val: uint64(m.OID)}
+			if m.V > 0 {
+				pp = append(pp, q)
+			} else {
+				np = append(np, q)
+			}
+		}
+		if err := g.pos.BulkLoad(pp); err != nil {
+			return err
+		}
+		if err := g.neg.BulkLoad(np); err != nil {
+			return err
+		}
+		g.size = len(group)
+		p.rot.gens[e] = g
+		p.rot.size += len(group)
+	}
+	return nil
+}
+
+// BulkLoad replaces the baseline's contents with the given motions via the
+// R*-tree's STR packing.
+func (r *RStarSeg) BulkLoad(ms []dual.Motion) error {
+	items := make([]rstar.Item, len(ms))
+	for i, m := range ms {
+		if err := validateMotion(m, r.cfg.Terrain); err != nil {
+			return err
+		}
+		seg, err := r.segment(m)
+		if err != nil {
+			return err
+		}
+		items[i] = rstar.Item{Rect: seg.Bound(), Val: r.val(m)}
+	}
+	return r.tree.BulkLoad(items, 0)
+}

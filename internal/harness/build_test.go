@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// The build bench must produce both methods for every structure, and the
+// B+-tree bulk path must beat incremental construction by the margin the
+// bottom-up builder promises, even at a test-sized n.
+func TestRunBuildBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("build bench is slow")
+	}
+	rep, err := RunBuildBench(BuildBenchConfig{N: 20000, BufferPages: 64}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 10 {
+		t.Fatalf("got %d results, want 10 (5 structures x 2 methods)", len(rep.Results))
+	}
+	seen := map[string]BuildResult{}
+	for _, r := range rep.Results {
+		if r.N != 20000 {
+			t.Fatalf("%s/%s: N=%d", r.Structure, r.Method, r.N)
+		}
+		if r.PagesInUse <= 0 || r.LogicalIOs <= 0 || r.PhysicalIOs <= 0 {
+			t.Fatalf("%s/%s: empty counters %+v", r.Structure, r.Method, r)
+		}
+		seen[r.Structure+"/"+r.Method] = r
+	}
+	if rep.BPTreeIOReduction < 5 {
+		t.Fatalf("bptree physical I/O reduction %.1fx, want >= 5x", rep.BPTreeIOReduction)
+	}
+	// Every structure's bulk build must issue fewer logical I/Os than its
+	// incremental counterpart — the point of the fast paths.
+	for _, s := range []string{"bptree", "dualbplus", "kdtree", "rstar", "parttree"} {
+		inc, bulk := seen[s+"/incremental"], seen[s+"/bulk"]
+		if bulk.LogicalIOs >= inc.LogicalIOs {
+			t.Errorf("%s: bulk logical I/Os %d not below incremental %d", s, bulk.LogicalIOs, inc.LogicalIOs)
+		}
+	}
+}

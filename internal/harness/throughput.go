@@ -44,6 +44,13 @@ type ThroughputConfig struct {
 	// BufferPages sizes the serving cache (0 → 128). Small enough that
 	// leaf reads miss, large enough to hold the hot root path.
 	BufferPages int
+	// Rebuild, when set, performs one full bulk reindex mid-run: once half
+	// the queries have been served, a maintenance goroutine takes the
+	// exclusive latch and replaces the index with BulkLoad over the current
+	// motion set — the paper's periodic reconstruction, executed with the
+	// bottom-up builders instead of n Inserts. The stall it causes is the
+	// rebuild's serving cost, visible in p99 and RebuildMs.
+	Rebuild bool
 }
 
 // slowStore injects the simulated disk latency under the buffer pool.
@@ -76,6 +83,10 @@ type ThroughputResult struct {
 	P99     time.Duration `json:"-"`
 	P50us   float64       `json:"p50_us"`
 	P99us   float64       `json:"p99_us"`
+	// Rebuilds counts mid-run bulk reindexes; RebuildMs is the exclusive
+	// latch hold time of the last one (0 when Rebuild is off).
+	Rebuilds  int     `json:"rebuilds"`
+	RebuildMs float64 `json:"rebuild_ms"`
 }
 
 func (c *ThroughputConfig) fill() {
@@ -132,6 +143,14 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 	}
 	if err := sim.Bootstrap(apply); err != nil {
 		return nil, err
+	}
+
+	// Snapshot the live motion set before pre-generation ticks mutate the
+	// simulator's state: the rebuild path needs the motions the index
+	// actually holds, kept current by the writer as updates apply.
+	live := make(map[dual.OID]dual.Motion, cfg.N)
+	for _, m := range sim.Motions() {
+		live[m.OID] = m
 	}
 
 	// Pre-generate the serving workload so measurement excludes generation
@@ -242,6 +261,11 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 				if err == nil {
 					err = apply(updates[i+1])
 				}
+				for _, op := range updates[i : i+2] {
+					if op.Insert {
+						live[op.Motion.OID] = op.Motion
+					}
+				}
 				mu.Unlock()
 				if err != nil {
 					fail(fmt.Errorf("update %d: %w", i/2, err))
@@ -249,6 +273,36 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 				}
 				applied.Add(1)
 			}
+		}()
+	}
+	var (
+		rebuilds  int
+		rebuildMs float64
+	)
+	if cfg.Rebuild {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Wait for the halfway mark, then reindex under the exclusive
+			// latch: snapshot the live motions (guarded by mu, like the
+			// index itself) and swap in a bulk-built replacement.
+			for next.Load() < int64(cfg.Queries)/2 {
+				time.Sleep(time.Millisecond)
+			}
+			mu.Lock()
+			ms := make([]dual.Motion, 0, len(live))
+			for _, m := range live {
+				ms = append(ms, m)
+			}
+			t0 := time.Now()
+			err := ix.BulkLoad(ms)
+			rebuildMs = float64(time.Since(t0).Microseconds()) / 1e3
+			mu.Unlock()
+			if err != nil {
+				fail(fmt.Errorf("rebuild: %w", err))
+				return
+			}
+			rebuilds++
 		}()
 	}
 	wg.Wait()
@@ -270,13 +324,15 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		return all[i]
 	}
 	res := &ThroughputResult{
-		Workers: cfg.Workers,
-		Queries: int(served.Load()),
-		Updates: int(applied.Load()),
-		Elapsed: elapsed,
-		QPS:     float64(served.Load()) / elapsed.Seconds(),
-		P50:     pct(0.50),
-		P99:     pct(0.99),
+		Workers:   cfg.Workers,
+		Queries:   int(served.Load()),
+		Updates:   int(applied.Load()),
+		Elapsed:   elapsed,
+		QPS:       float64(served.Load()) / elapsed.Seconds(),
+		P50:       pct(0.50),
+		P99:       pct(0.99),
+		Rebuilds:  rebuilds,
+		RebuildMs: rebuildMs,
 	}
 	res.P50us = float64(res.P50.Nanoseconds()) / 1e3
 	res.P99us = float64(res.P99.Nanoseconds()) / 1e3

@@ -46,6 +46,32 @@ func TestRunThroughput(t *testing.T) {
 	}
 }
 
+// With Rebuild set, the run must complete a mid-run bulk reindex and keep
+// serving correctly afterwards — every query still answered, updates still
+// applied on top of the rebuilt index.
+func TestRunThroughputRebuild(t *testing.T) {
+	leakcheck.Check(t)
+	res, err := RunThroughput(ThroughputConfig{
+		N:             4000,
+		Workers:       4,
+		Queries:       800,
+		UpdatesPerSec: 200,
+		Rebuild:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", res.Rebuilds)
+	}
+	if res.RebuildMs <= 0 {
+		t.Fatalf("RebuildMs = %v, want > 0", res.RebuildMs)
+	}
+	if res.Queries != 800 {
+		t.Fatalf("served %d queries, want 800", res.Queries)
+	}
+}
+
 func TestRunThroughputNoUpdates(t *testing.T) {
 	leakcheck.Check(t)
 	res, err := RunThroughput(ThroughputConfig{

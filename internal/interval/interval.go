@@ -19,6 +19,7 @@ package interval
 
 import (
 	"fmt"
+	"math"
 
 	"mobidx/internal/bptree"
 	"mobidx/internal/pager"
@@ -72,6 +73,24 @@ func (ix *Index) Overlapping(t1, t2 float64, fn func(start, end float64, val uin
 		}
 		return fn(e.Key, e.Aux, e.Val)
 	})
+}
+
+// BulkLoadSorted replaces the index contents with the given entries
+// (Key = start, Aux = end, Val = reference), which must already be sorted
+// with bptree.SortEntries and rounded to the codec's precision — the form
+// core's bulk reindex produces. The duration bound is enforced with a
+// tolerance absorbing the float32 rounding of the endpoints.
+func (ix *Index) BulkLoadSorted(es []bptree.Entry, fill float64) error {
+	for _, e := range es {
+		tol := ix.maxD*1e-9 + (math.Abs(e.Key)+math.Abs(e.Aux))*1e-6
+		if e.Aux < e.Key-tol {
+			return fmt.Errorf("interval: end %v before start %v", e.Aux, e.Key)
+		}
+		if e.Aux-e.Key > ix.maxD+tol {
+			return fmt.Errorf("interval: duration %v exceeds bound %v", e.Aux-e.Key, ix.maxD)
+		}
+	}
+	return ix.tree.BulkLoadSorted(es, fill)
 }
 
 // Destroy releases all pages.

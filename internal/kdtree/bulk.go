@@ -1,0 +1,210 @@
+// Bulk construction. Where Insert grows the directory one median split at
+// a time — rewriting a bucket page per point and a directory page per
+// split — BulkLoad performs the same recursive median partitioning wholly
+// in memory and then writes each bucket and directory page exactly once.
+// The resulting tree obeys the identical split discipline as incremental
+// growth (normalized-spread dimension choice, median split, points with
+// coordinate <= split to the left), so searches are indistinguishable; only
+// the construction cost differs.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/pager"
+)
+
+// bchild is a link in the in-memory build tree: an internal split when n is
+// non-nil, otherwise a concrete bucket reference.
+type bchild struct {
+	n *bnode
+	r ref
+}
+
+// bnode is one split of the in-memory build tree, packed into a directory
+// page slot at the end of the build.
+type bnode struct {
+	dim   int
+	split float64
+	l, r  bchild
+}
+
+// BulkLoad replaces the tree's contents with the given points, splitting
+// until every bucket holds at most fill·BucketCap points (fill 0 selects
+// 0.9). The slack keeps subsequent Inserts from splitting immediately;
+// fill 1.0 packs buckets full. On a batching store the whole rebuild
+// commits atomically. The input slice is not modified.
+func (t *Tree) BulkLoad(points []Point, fill float64) error {
+	if fill == 0 {
+		fill = 0.9
+	}
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("kdtree: fill fraction %v outside (0, 1]", fill)
+	}
+	per := int(fill * float64(t.bucketCap))
+	if per < 1 {
+		per = 1
+	}
+	pts := make([]Point, len(points))
+	for i, p := range points {
+		if p.Val > math.MaxUint32 {
+			return fmt.Errorf("kdtree: value %d does not fit in the 32-bit page slot", p.Val)
+		}
+		p = roundPoint(p)
+		if !t.world.Contains(geom.Point{X: p.X, Y: p.Y}) {
+			return fmt.Errorf("kdtree: point (%v,%v) outside world %+v", p.X, p.Y, t.world)
+		}
+		pts[i] = p
+	}
+	return pager.RunBatch(t.store, func() error { return t.bulkLoad(pts, per) })
+}
+
+func (t *Tree) bulkLoad(pts []Point, per int) error {
+	if err := t.destroyRef(t.rootRef, nil); err != nil {
+		return err
+	}
+	c, err := t.buildSub(pts, per)
+	if err != nil {
+		return err
+	}
+	if c.n != nil {
+		if c.r, err = t.packDir(c.n); err != nil {
+			return err
+		}
+	}
+	t.rootRef = c.r
+	t.size = len(pts)
+	return nil
+}
+
+// buildSub recursively partitions pts exactly as splitBucket would have,
+// producing buckets of at most per points (or overflow chains for point
+// sets identical in both dimensions).
+func (t *Tree) buildSub(pts []Point, per int) (bchild, error) {
+	if len(pts) <= per {
+		return t.packBucketChain(pts)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, q := range pts {
+		minX, maxX = math.Min(minX, q.X), math.Max(maxX, q.X)
+		minY, maxY = math.Min(minY, q.Y), math.Max(maxY, q.Y)
+	}
+	wx := t.world.MaxX - t.world.MinX
+	wy := t.world.MaxY - t.world.MinY
+	dim := 0
+	if (maxY-minY)*wx > (maxX-minX)*wy {
+		dim = 1
+	}
+	split, ok := medianSplit(pts, dim)
+	if !ok {
+		dim = 1 - dim
+		split, ok = medianSplit(pts, dim)
+	}
+	if !ok {
+		// All points identical: an overflow chain, as chainOverflow builds.
+		return t.packBucketChain(pts)
+	}
+	var left, right []Point
+	for _, q := range pts {
+		if q.coord(dim) <= split {
+			left = append(left, q)
+		} else {
+			right = append(right, q)
+		}
+	}
+	lc, err := t.buildSub(left, per)
+	if err != nil {
+		return bchild{}, err
+	}
+	rc, err := t.buildSub(right, per)
+	if err != nil {
+		return bchild{}, err
+	}
+	return bchild{n: &bnode{dim: dim, split: split, l: lc, r: rc}}, nil
+}
+
+// packBucketChain writes pts into one bucket, or a chain of full buckets
+// when pts exceeds page capacity (the all-identical degenerate case). Tail
+// buckets are written first so each page is written exactly once, already
+// holding its successor link.
+func (t *Tree) packBucketChain(pts []Point) (bchild, error) {
+	chunks := (len(pts) + t.bucketCap - 1) / t.bucketCap
+	if chunks == 0 {
+		chunks = 1
+	}
+	next := pager.PageID(0)
+	for i := chunks - 1; i >= 0; i-- {
+		lo := i * t.bucketCap
+		hi := lo + t.bucketCap
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		b, err := t.allocBucket()
+		if err != nil {
+			return bchild{}, err
+		}
+		b.points = pts[lo:hi]
+		b.next = next
+		if err := t.writeBucket(b); err != nil {
+			return bchild{}, err
+		}
+		next = b.id
+	}
+	return bchild{r: mkRef(tagBucket, uint32(next))}, nil
+}
+
+// packDir packs the build tree rooted at root into directory pages: a
+// breadth-first prefix of up to nodeCap splits shares this page, and each
+// remaining subtree recurses into its own page, mirroring the one-subtree-
+// per-page discipline splitDirPage maintains incrementally.
+func (t *Tree) packDir(root *bnode) (ref, error) {
+	dp, err := t.allocDir()
+	if err != nil {
+		return 0, err
+	}
+	queue := []*bnode{root}
+	idx := map[*bnode]int{root: 0}
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		for _, c := range [2]*bnode{n.l.n, n.r.n} {
+			if c != nil && len(queue) < t.nodeCap {
+				idx[c] = len(queue)
+				queue = append(queue, c)
+			}
+		}
+	}
+	for _, n := range queue {
+		// The page is fresh, so allocSlot hands out indexes in queue order,
+		// matching idx.
+		i, _ := dp.allocSlot(t.nodeCap)
+		s := slot{dim: n.dim, split: n.split}
+		if s.left, err = t.resolveChild(n.l, idx); err != nil {
+			return 0, err
+		}
+		if s.right, err = t.resolveChild(n.r, idx); err != nil {
+			return 0, err
+		}
+		dp.slots[i] = s
+	}
+	dp.root = 0
+	if err := t.writeDir(dp); err != nil {
+		return 0, err
+	}
+	return mkRef(tagDir, uint32(dp.id)), nil
+}
+
+// resolveChild turns a build-tree link into an on-page reference: an
+// in-page slot when the child was packed into the same page, a new
+// directory page otherwise, or the bucket reference it already carries.
+func (t *Tree) resolveChild(c bchild, idx map[*bnode]int) (ref, error) {
+	if c.n == nil {
+		return c.r, nil
+	}
+	if j, ok := idx[c.n]; ok {
+		return mkRef(tagNode, uint32(j)), nil
+	}
+	return t.packDir(c.n)
+}

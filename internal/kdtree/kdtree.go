@@ -169,7 +169,8 @@ func (t *Tree) allocBucket() (*bucket, error) {
 }
 
 func (t *Tree) writeBucket(b *bucket) error {
-	data := make([]byte, t.store.PageSize())
+	pb := pager.GetPageBuf(t.store.PageSize())
+	data := pb.B
 	data[0] = typeBucket
 	put16(data[2:], len(b.points))
 	put32(data[4:], uint32(b.next))
@@ -180,7 +181,9 @@ func (t *Tree) writeBucket(b *bucket) error {
 		put32(data[off+8:], uint32(pt.Val))
 		off += pointSize
 	}
-	return t.store.Write(&pager.Page{ID: b.id, Data: data})
+	err := t.store.Write(&pager.Page{ID: b.id, Data: data})
+	pb.Release()
+	return err
 }
 
 func (t *Tree) readBucket(id pager.PageID) (*bucket, error) {
@@ -218,7 +221,8 @@ func (t *Tree) allocDir() (*dirPage, error) {
 }
 
 func (t *Tree) writeDir(dp *dirPage) error {
-	data := make([]byte, t.store.PageSize())
+	pb := pager.GetPageBuf(t.store.PageSize())
+	data := pb.B
 	data[0] = typeDir
 	put16(data[2:], dp.count)
 	put16(data[4:], dp.root)
@@ -233,7 +237,9 @@ func (t *Tree) writeDir(dp *dirPage) error {
 		put32(data[off+12:], uint32(s.right))
 		off += slotSize
 	}
-	return t.store.Write(&pager.Page{ID: dp.id, Data: data})
+	err := t.store.Write(&pager.Page{ID: dp.id, Data: data})
+	pb.Release()
+	return err
 }
 
 func (t *Tree) readDir(id pager.PageID) (*dirPage, error) {
@@ -803,6 +809,18 @@ func (t *Tree) collapseBucket(path []pathStep, b *bucket) error {
 func (t *Tree) SearchRegion(reg geom.ConvexRegion, fn func(Point) bool) error {
 	_, err := t.searchRef(t.rootRef, nil, t.world, reg, fn)
 	return err
+}
+
+// SearchRegionAppend appends every stored point inside the convex region
+// to dst and returns the extended slice. When dst has sufficient capacity
+// the only per-call allocations are the callback plumbing, so a serving
+// loop reusing its buffer stays off the heap for the results themselves.
+func (t *Tree) SearchRegionAppend(dst []Point, reg geom.ConvexRegion) ([]Point, error) {
+	err := t.SearchRegion(reg, func(p Point) bool {
+		dst = append(dst, p)
+		return true
+	})
+	return dst, err
 }
 
 // SearchRect reports every stored point inside the rectangle.

@@ -432,6 +432,141 @@ func bptreeWorkload(ps int, ops []treeOp, ckptEvery int) workload {
 	return workload{pageSize: ps, cfg: pager.WALConfig{}, make: mk, check: check}
 }
 
+// bptreeBulkWorkload is bptreeWorkload with the build phase replaced by
+// the bottom-up bulk loader: the init batch packs the whole initial entry
+// set atomically, then individual mutations follow one batch each. A crash
+// anywhere inside the bulk load must recover to the empty store; a crash
+// after it must recover the complete packed tree.
+func bptreeBulkWorkload(ps int, initial []bptree.Entry, ops []treeOp, ckptEvery int) workload {
+	tcfg := bptree.Config{Codec: bptree.Wide}
+	const superPage = pager.PageID(2)
+	// The recovered tree at sequence s holds initial + ops[:s-1], which is
+	// the same model as loading the initial entries as plain inserts.
+	allOps := make([]treeOp, 0, len(initial)+len(ops))
+	for _, e := range initial {
+		allOps = append(allOps, treeOp{e: e})
+	}
+	allOps = append(allOps, ops...)
+	mk := func(bool) []step {
+		var tree *bptree.Tree
+		writeSuper := func(w *pager.WALStore) error {
+			m := tree.Meta()
+			data := make([]byte, ps)
+			binary.LittleEndian.PutUint32(data[0:4], uint32(m.Root))
+			binary.LittleEndian.PutUint32(data[4:8], uint32(m.Height))
+			binary.LittleEndian.PutUint32(data[8:12], uint32(m.Size))
+			return w.Write(&pager.Page{ID: superPage, Data: data})
+		}
+		steps := []step{{"bulkinit", func(w *pager.WALStore) error {
+			return pager.RunBatch(w, func() error {
+				sp, err := w.Allocate()
+				if err != nil {
+					return err
+				}
+				if sp.ID != superPage {
+					return fmt.Errorf("superblock got page %d, want %d", sp.ID, superPage)
+				}
+				tree, err = bptree.New(w, tcfg)
+				if err != nil {
+					return err
+				}
+				if err := tree.BulkLoadSorted(initial, 0.9); err != nil {
+					return err
+				}
+				return writeSuper(w)
+			})
+		}}}
+		for i, op := range ops {
+			op := op
+			steps = append(steps, step{fmt.Sprintf("op%d", i), func(w *pager.WALStore) error {
+				return pager.RunBatch(w, func() error {
+					var err error
+					if op.del {
+						err = tree.Delete(op.e.Key, op.e.Val)
+					} else {
+						err = tree.Insert(op.e)
+					}
+					if err != nil {
+						return err
+					}
+					return writeSuper(w)
+				})
+			}})
+			if ckptEvery > 0 && (i+1)%ckptEvery == 0 {
+				steps = append(steps, step{fmt.Sprintf("ckpt%d", i), func(w *pager.WALStore) error {
+					return w.Checkpoint()
+				}})
+			}
+		}
+		return steps
+	}
+	check := func(t *testing.T, w *pager.WALStore, seq uint64) {
+		t.Helper()
+		if seq == 0 {
+			return // crash before the bulk load committed
+		}
+		sp, err := w.Read(superPage)
+		if err != nil {
+			t.Fatalf("seq %d: read superblock: %v", seq, err)
+		}
+		m := bptree.Meta{
+			Root:   pager.PageID(binary.LittleEndian.Uint32(sp.Data[0:4])),
+			Height: int(binary.LittleEndian.Uint32(sp.Data[4:8])),
+			Size:   int(binary.LittleEndian.Uint32(sp.Data[8:12])),
+		}
+		tr, err := bptree.Attach(w, tcfg, m)
+		if err != nil {
+			t.Fatalf("seq %d: attach recovered tree %+v: %v", seq, m, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("seq %d: recovered bulk-built tree invariants: %v", seq, err)
+		}
+		var got []bptree.Entry
+		if err := tr.Range(-1e300, 1e300, func(e bptree.Entry) bool {
+			got = append(got, e)
+			return true
+		}); err != nil {
+			t.Fatalf("seq %d: range over recovered tree: %v", seq, err)
+		}
+		want := entriesAfter(allOps, len(initial)+int(seq)-1)
+		if len(got) != len(want) {
+			t.Fatalf("seq %d: recovered tree has %d entries, want %d", seq, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seq %d: entry %d is %+v, want %+v", seq, i, got[i], want[i])
+			}
+		}
+	}
+	return workload{pageSize: ps, cfg: pager.WALConfig{}, make: mk, check: check}
+}
+
+// TestCrashSweepBPTreeBulk sweeps a workload whose tree is built with the
+// bottom-up bulk loader inside one atomic batch (a multi-level tree at this
+// page size), then mutated and checkpointed. Recovery must yield either the
+// empty store or the complete packed tree plus the committed mutations —
+// never a partial bulk load.
+func TestCrashSweepBPTreeBulk(t *testing.T) {
+	initial := make([]bptree.Entry, 40)
+	for i := range initial {
+		initial[i] = bptree.Entry{Key: float64(i * 3), Val: uint64(i), Aux: float64(i) / 2}
+	}
+	bptree.SortEntries(initial)
+	ops := []treeOp{
+		{e: bptree.Entry{Key: 1, Val: 1000, Aux: 0.5}},
+		{del: true, e: bptree.Entry{Key: 33, Val: 11}},
+		{e: bptree.Entry{Key: 200, Val: 1001, Aux: 7}},
+		{del: true, e: bptree.Entry{Key: 0, Val: 0}},
+		{e: bptree.Entry{Key: 34, Val: 1002, Aux: 3}},
+	}
+	wl := bptreeBulkWorkload(256, initial, ops, 3)
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			runSweep(t, mode, wl)
+		})
+	}
+}
+
 // TestCrashSweepBPTree sweeps a mixed insert/delete workload that forces a
 // leaf split, verifying after every crash point that the recovered tree
 // attaches, passes its structural invariants and holds exactly the

@@ -124,6 +124,58 @@ func index1DWorkload(name string, mk func(pager.Store) (core.Index1D, error)) Wo
 	}}
 }
 
+// bulkIndex1D is an Index1D with a bottom-up builder — what the bulk
+// workload exercises under faults.
+type bulkIndex1D interface {
+	core.Index1D
+	BulkLoad([]dual.Motion) error
+}
+
+// index1DBulkWorkload is index1DWorkload with the build phase replaced by
+// BulkLoad: the bottom-up packed index must survive the same faults, and
+// subsequent updates and queries must behave identically.
+func index1DBulkWorkload(name string, mk func(pager.Store) (bulkIndex1D, error)) Workload {
+	return Workload{Name: name, Run: func(store pager.Store) (string, error) {
+		idx, err := mk(store)
+		if err != nil {
+			return "", err
+		}
+		ms := motions1D(48)
+		if err := idx.BulkLoad(ms); err != nil {
+			return "", err
+		}
+		var out strings.Builder
+		runQueries := func() error {
+			for _, q := range queries1D {
+				var ids []dual.OID
+				if err := idx.Query(q, func(id dual.OID) { ids = append(ids, id) }); err != nil {
+					return err
+				}
+				out.WriteString(fingerprint(ids))
+				out.WriteByte(';')
+			}
+			return nil
+		}
+		if err := runQueries(); err != nil {
+			return "", err
+		}
+		for i := 0; i < len(ms); i += 3 {
+			if err := idx.Delete(ms[i]); err != nil {
+				return "", err
+			}
+			ms[i].T0 = 50
+			ms[i].Y0 = float64((i*211 + 37) % 1000)
+			if err := idx.Insert(ms[i]); err != nil {
+				return "", err
+			}
+		}
+		if err := runQueries(); err != nil {
+			return "", err
+		}
+		return out.String(), nil
+	}}
+}
+
 var terrain2D = twod.Terrain2D{XMax: 1000, YMax: 1000, VMin: 0.16, VMax: 1.66}
 
 func motions2D(n int) []twod.Motion2D {
@@ -248,6 +300,9 @@ func Workloads() []Workload {
 				return nil, err
 			}
 			return core.NewSpeedPartitioned(st, core.SpeedPartitionedConfig{Terrain: terrain1D, SlowCutoff: 0.3}, moving)
+		}),
+		index1DBulkWorkload("dualbp-bulk", func(st pager.Store) (bulkIndex1D, error) {
+			return core.NewDualBPlus(st, core.DualBPlusConfig{Terrain: terrain1D, C: 4})
 		}),
 		kineticWorkload(),
 		index2DWorkload("kd4", func(st pager.Store) (twod.Index2D, error) {

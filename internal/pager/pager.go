@@ -85,7 +85,9 @@ type Store interface {
 	Allocate() (*Page, error)
 	// Read fetches the page with the given id.
 	Read(id PageID) (*Page, error)
-	// Write persists the page.
+	// Write persists the page. Implementations copy p.Data before
+	// returning — a store never retains the caller's slice — so callers
+	// may recycle their encode buffers (see PageBuf).
 	Write(p *Page) error
 	// Free returns the page to the allocator.
 	Free(id PageID) error
@@ -177,16 +179,19 @@ func (m *MemStore) Read(id PageID) (*Page, error) {
 	return &Page{ID: id, Data: data}, nil
 }
 
-// Write implements Store.
+// Write implements Store. A fresh image is installed rather than mutating
+// the stored slice in place, so slices handed out by View stay stable
+// snapshots (see Viewer).
 func (m *MemStore) Write(p *Page) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	buf, ok := m.pages[p.ID]
-	if !ok {
+	if _, ok := m.pages[p.ID]; !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, p.ID)
 	}
 	m.stats.writes.Add(1)
+	buf := make([]byte, m.pageSize)
 	copy(buf, p.Data)
+	m.pages[p.ID] = buf
 	return nil
 }
 

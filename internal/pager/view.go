@@ -1,0 +1,103 @@
+package pager
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Viewer is an optional Store capability: zero-copy read access to a
+// page's bytes. View returns the store's own image of the page instead of
+// a fresh copy, so a steady-state query that only descends an index
+// performs no heap allocation at all (the hot-loop discipline enforced by
+// the AllocsPerRun gates in the index packages).
+//
+// The returned slice is read-only and stable: stores that implement
+// Viewer install a fresh image on every Write rather than mutating the
+// old one in place, so a slice obtained before a concurrent write remains
+// a consistent (if stale) snapshot of the page. Callers must never write
+// through it and must not use it after freeing the page.
+type Viewer interface {
+	View(id PageID) ([]byte, error)
+}
+
+// ViewBytes reads page id through the store's zero-copy path when it has
+// one, and falls back to an ordinary (copying) Read otherwise. Either
+// way the result must be treated as read-only.
+func ViewBytes(s Store, id PageID) ([]byte, error) {
+	if v, ok := s.(Viewer); ok {
+		return v.View(id)
+	}
+	p, err := s.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
+// View implements Viewer: the stored image is returned directly, under
+// the read-latch only for the map lookup. Write installs a fresh slice
+// per page (never mutating the old image), which is what makes the
+// returned bytes a stable snapshot.
+func (m *MemStore) View(id PageID) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	buf, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	m.stats.reads.Add(1)
+	return buf, nil
+}
+
+// View implements Viewer. A pool hit returns the cached frame's bytes
+// with no copy and no store I/O — frames are immutable once installed
+// (see bufFrame), so the slice stays consistent even if the page is
+// rewritten later. A miss reads through to the underlying store and
+// installs the frame exactly like Read.
+func (b *Buffered) View(id PageID) ([]byte, error) {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	if f, ok := sh.frames[id]; ok {
+		f.tick.Store(sh.clock.Add(1))
+		data := f.data
+		sh.mu.RUnlock()
+		return data, nil
+	}
+	sh.mu.RUnlock()
+	p, err := b.under.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	b.install(id, p.Data)
+	return p.Data, nil
+}
+
+// PageBuf is a pooled page-sized scratch buffer for node encoders. The
+// index packages serialize a node into B and hand it to Store.Write —
+// every Store implementation copies the data before returning (Write
+// never retains p.Data) — then Release the buffer, so a build writes
+// thousands of pages through a handful of recycled buffers instead of
+// allocating one per write.
+type PageBuf struct {
+	B []byte
+}
+
+var pageBufPool = sync.Pool{New: func() any { return new(PageBuf) }}
+
+// GetPageBuf returns a zeroed scratch buffer of the given size from the
+// pool. Release it when the Write it fed has returned.
+func GetPageBuf(size int) *PageBuf {
+	pb := pageBufPool.Get().(*PageBuf)
+	if cap(pb.B) < size {
+		pb.B = make([]byte, size)
+		return pb
+	}
+	pb.B = pb.B[:size]
+	for i := range pb.B {
+		pb.B[i] = 0
+	}
+	return pb
+}
+
+// Release returns the buffer to the pool.
+func (pb *PageBuf) Release() { pageBufPool.Put(pb) }

@@ -159,13 +159,8 @@ func partition(pts []Point, fanout int) [][]Point {
 		if r.MaxY-r.MinY > r.MaxX-r.MinX {
 			dim = 1
 		}
-		sort.Slice(c, func(a, b int) bool {
-			if dim == 0 {
-				return c[a].X < c[b].X
-			}
-			return c[a].Y < c[b].Y
-		})
 		mid := len(c) / 2
+		nthElement(c, mid, dim)
 		out[bi] = c[:mid]
 		out = append(out, c[mid:])
 	}
@@ -177,6 +172,60 @@ func partition(pts []Point, fanout int) [][]Point {
 		}
 	}
 	return keep
+}
+
+func coordOf(p Point, dim int) float64 {
+	if dim == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// nthElement partially orders c by the dim coordinate so that c[k] holds
+// the value it would have after a full sort, everything before it compares
+// <= and everything after >=. Expected O(n) — a three-way-partition
+// quickselect — where the full sort each median split previously paid is
+// O(n log n); across the O(fanout) splits of one node that asymptotic gap
+// dominated static-block construction time.
+func nthElement(c []Point, k, dim int) {
+	lo, hi := 0, len(c)
+	for hi-lo > 1 {
+		// Median-of-three pivot guards against sorted runs.
+		a, b, d := coordOf(c[lo], dim), coordOf(c[(lo+hi)/2], dim), coordOf(c[hi-1], dim)
+		pv := a
+		switch {
+		case (a <= b && b <= d) || (d <= b && b <= a):
+			pv = b
+		case (a <= d && d <= b) || (b <= d && d <= a):
+			pv = d
+		}
+		// Dutch-flag partition into < pv | == pv | > pv; duplicate-heavy
+		// inputs collapse into the middle band instead of degrading to
+		// quadratic behaviour.
+		lt, i, gt := lo, lo, hi
+		for i < gt {
+			v := coordOf(c[i], dim)
+			switch {
+			case v < pv:
+				c[lt], c[i] = c[i], c[lt]
+				lt++
+				i++
+			case v > pv:
+				gt--
+				c[i], c[gt] = c[gt], c[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return
+		}
+	}
 }
 
 // buildStatic writes a static partition tree for pts (already rounded) and

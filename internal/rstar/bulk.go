@@ -1,0 +1,168 @@
+// Sort-Tile-Recursive bulk load (Leutenegger, Edgington, Lopez, ICDE
+// 1997). Where Insert pays an R* ChooseSubtree descent, possible forced
+// reinsertion, and a split cascade per item — O(n log_B n) page writes
+// for n items — STR sorts the items once into √L vertical slabs by
+// x-center, tiles each slab by y-center into runs of one leaf each, and
+// repeats the same packing on the node rectangles level by level: exactly
+// one sequential page write per node.
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobidx/internal/geom"
+	"mobidx/internal/pager"
+)
+
+// strEnt is one entry being packed: an item (ref = value) at level 0, a
+// node (ref = page id) above.
+type strEnt struct {
+	r   geom.Rect
+	ref uint32
+}
+
+// BulkLoad replaces the tree's contents with the given items, packed
+// bottom-up with STR at the given fill fraction (0 selects 0.9). Group
+// sizes are balanced so every node — even a slab tail — meets the R*
+// minimum fill, keeping the loaded tree indistinguishable from an
+// incrementally grown one to CheckInvariants and to subsequent
+// Insert/Delete traffic. On a batching store the whole rebuild commits
+// atomically. The input slice is not modified.
+func (t *Tree) BulkLoad(items []Item, fill float64) error {
+	if fill == 0 {
+		fill = 0.9
+	}
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("rstar: fill fraction %v outside (0, 1]", fill)
+	}
+	for _, it := range items {
+		if it.Val > math.MaxUint32 {
+			return fmt.Errorf("rstar: value %d does not fit in the 32-bit page slot", it.Val)
+		}
+	}
+	per := int(fill * float64(t.maxCap))
+	// Balanced packing guarantees groups of at least per/2 entries; per
+	// must therefore be at least 2m for packed nodes to satisfy the R*
+	// minimum fill m.
+	if per < 2*t.minCap {
+		per = 2 * t.minCap
+	}
+	if per > t.maxCap {
+		per = t.maxCap
+	}
+	return pager.RunBatch(t.store, func() error { return t.bulkLoad(items, per) })
+}
+
+func (t *Tree) bulkLoad(items []Item, per int) error {
+	if err := t.destroy(t.root); err != nil {
+		return err
+	}
+	es := make([]strEnt, len(items))
+	for i, it := range items {
+		es[i] = strEnt{r: roundRect(it.Rect), ref: uint32(it.Val)}
+	}
+	level := 0
+	for {
+		nodes, err := t.strPackLevel(es, level, per)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 1 {
+			t.root = pager.PageID(nodes[0].ref)
+			t.height = level + 1
+			t.size = len(items)
+			return nil
+		}
+		es = nodes
+		level++
+	}
+}
+
+// strPackLevel tiles one level's entries into nodes and returns the node
+// entries (MBR + page id) for the level above. A single (possibly empty)
+// node is produced for an input that fits one page.
+func (t *Tree) strPackLevel(es []strEnt, level, per int) ([]strEnt, error) {
+	groups := (len(es) + per - 1) / per
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > 1 {
+		slabs := int(math.Ceil(math.Sqrt(float64(groups))))
+		sort.Slice(es, func(i, j int) bool {
+			return es[i].r.MinX+es[i].r.MaxX < es[j].r.MinX+es[j].r.MaxX
+		})
+		var out []strEnt
+		for _, slab := range balancedCuts(es, slabs) {
+			sort.Slice(slab, func(i, j int) bool {
+				return slab[i].r.MinY+slab[i].r.MaxY < slab[j].r.MinY+slab[j].r.MaxY
+			})
+			for _, run := range balancedCuts(slab, (len(slab)+per-1)/per) {
+				ne, err := t.packNode(run, level)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ne)
+			}
+		}
+		return out, nil
+	}
+	ne, err := t.packNode(es, level)
+	if err != nil {
+		return nil, err
+	}
+	return []strEnt{ne}, nil
+}
+
+// balancedCuts splits es into k contiguous pieces whose sizes differ by
+// at most one, so no piece is left pathologically small.
+func balancedCuts(es []strEnt, k int) [][]strEnt {
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]strEnt, 0, k)
+	base, rem := len(es)/k, len(es)%k
+	start := 0
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out = append(out, es[start:start+sz])
+		start += sz
+	}
+	return out
+}
+
+// packNode writes one node holding exactly the given entries.
+func (t *Tree) packNode(es []strEnt, level int) (strEnt, error) {
+	p, err := t.store.Allocate()
+	if err != nil {
+		return strEnt{}, err
+	}
+	n := &node{id: p.ID, level: level}
+	for _, e := range es {
+		n.add(e.r, e.ref)
+	}
+	if err := t.writeNode(n); err != nil {
+		return strEnt{}, err
+	}
+	return strEnt{r: n.mbr(), ref: uint32(n.id)}, nil
+}
+
+// destroy frees every page of the subtree rooted at id.
+func (t *Tree) destroy(id pager.PageID) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.level > 0 {
+		for _, ref := range n.refs {
+			if err := t.destroy(pager.PageID(ref)); err != nil {
+				return err
+			}
+		}
+	}
+	return t.store.Free(id)
+}

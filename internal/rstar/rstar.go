@@ -129,7 +129,8 @@ func putf32(b []byte, f float64) { put32(b, math.Float32bits(float32(f))) }
 func getf32(b []byte) float64    { return float64(math.Float32frombits(get32(b))) }
 
 func (t *Tree) writeNode(n *node) error {
-	data := make([]byte, t.store.PageSize())
+	pb := pager.GetPageBuf(t.store.PageSize())
+	data := pb.B
 	data[0] = byte(n.level)
 	data[2] = byte(len(n.rects))
 	data[3] = byte(len(n.rects) >> 8)
@@ -142,7 +143,9 @@ func (t *Tree) writeNode(n *node) error {
 		put32(data[off+16:], n.refs[i])
 		off += entrySize
 	}
-	return t.store.Write(&pager.Page{ID: n.id, Data: data})
+	err := t.store.Write(&pager.Page{ID: n.id, Data: data})
+	pb.Release()
+	return err
 }
 
 func (t *Tree) readNode(id pager.PageID) (*node, error) {

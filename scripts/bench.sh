@@ -1,23 +1,55 @@
 #!/bin/sh
-# Parallel serving benchmark: runs mobbench -throughput (mixed
-# query/update workload at worker counts 1,2,4,8 over a simulated-latency
-# disk) and writes the machine-readable report to BENCH_parallel.json in
-# the repo root. The report includes queries/sec, p50/p99 latency, the
-# 4-vs-1 speedup, and the parallel-vs-sequential differential status.
+# Benchmark driver.
+#
+# Default run regenerates both machine-readable reports in the repo root:
+#
+#   1. Parallel serving benchmark: mobbench -throughput (mixed
+#      query/update workload at worker counts 1,2,4,8 over a
+#      simulated-latency disk) -> BENCH_parallel.json with queries/sec,
+#      p50/p99 latency, the 4-vs-1 speedup, mid-run bulk-reindex latch
+#      hold time (TP_REBUILD=1), and the parallel-vs-sequential
+#      differential status.
+#   2. Build benchmark: mobbench -build (incremental vs bulk construction
+#      of every access method) -> BENCH_build.json with wall time,
+#      logical/physical page I/Os, bytes allocated and final page counts;
+#      fails if the B+-tree bulk path is not >= 5x cheaper in physical
+#      I/Os than incremental.
+#
+# Before/after comparison (benchstat-style, works on either report):
+#
+#   scripts/bench.sh compare old/BENCH_build.json BENCH_build.json
 #
 # Knobs (defaults in parentheses) are forwarded from the environment:
 #   TP_N        object count (20000)
 #   TP_QUERIES  queries per worker count (4000)
 #   TP_WORKERS  comma-separated worker counts (1,2,4,8)
 #   TP_IO       simulated latency per buffer-pool miss (150us)
-#   BENCH_OUT   output path (BENCH_parallel.json)
+#   TP_REBUILD  1 = bulk reindex mid-run in each throughput run (1)
+#   BENCH_OUT   throughput output path (BENCH_parallel.json)
+#   BUILD_N     records per structure for -build (100000)
+#   BUILD_OUT   build output path (BENCH_build.json)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "compare" ]; then
+	shift
+	exec go run ./scripts/benchcmp "$@"
+fi
+
+rebuild_flag=""
+if [ "${TP_REBUILD:-1}" = "1" ]; then
+	rebuild_flag="-tprebuild"
+fi
 
 go run ./cmd/mobbench -throughput \
 	-tpn "${TP_N:-20000}" \
 	-tpqueries "${TP_QUERIES:-4000}" \
 	-tpworkers "${TP_WORKERS:-1,2,4,8}" \
 	-tpio "${TP_IO:-150us}" \
+	$rebuild_flag \
 	-benchout "${BENCH_OUT:-BENCH_parallel.json}"
+
+go run ./cmd/mobbench -build \
+	-buildn "${BUILD_N:-100000}" \
+	-buildout "${BUILD_OUT:-BENCH_build.json}"

@@ -1,0 +1,125 @@
+// Command benchcmp is a benchstat-style before/after comparison for the
+// mobbench JSON reports (BENCH_parallel.json, BENCH_build.json). It
+// flattens every numeric leaf of both files into metric paths and prints
+// old → new with the relative delta for each metric present in both, so a
+// change's effect on QPS, latency, I/O counts or build time is one diff
+// away:
+//
+//	scripts/bench.sh compare old/BENCH_build.json BENCH_build.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldM, err := flattenFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	newM, err := flattenFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: no shared metrics between the two reports\n")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-52s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	for _, k := range keys {
+		o, n := oldM[k], newM[k]
+		delta := "~"
+		if o != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+		} else if n != 0 {
+			delta = "new"
+		}
+		fmt.Printf("%-52s %14.6g %14.6g %9s\n", k, o, n, delta)
+	}
+	for k := range newM {
+		if _, ok := oldM[k]; !ok {
+			fmt.Printf("%-52s %14s %14.6g %9s\n", k, "-", newM[k], "added")
+		}
+	}
+}
+
+func flattenFile(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", v, out)
+	return out, nil
+}
+
+// flatten records every numeric leaf under its dotted path. Array elements
+// are keyed by a stable identity when the element is an object with
+// name-like fields (structure/method/workers), falling back to the index —
+// so reordered result lists still line up.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[prefix] = x
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			id := fmt.Sprintf("%d", i)
+			if m, ok := child.(map[string]any); ok {
+				if s := elemID(m); s != "" {
+					id = s
+				}
+			}
+			p := id
+			if prefix != "" {
+				p = prefix + "[" + id + "]"
+			}
+			flatten(p, child, out)
+		}
+	}
+}
+
+func elemID(m map[string]any) string {
+	if s, ok := m["structure"].(string); ok {
+		if meth, ok := m["method"].(string); ok {
+			return s + "/" + meth
+		}
+		return s
+	}
+	if w, ok := m["workers"].(float64); ok {
+		return fmt.Sprintf("workers=%g", w)
+	}
+	if n, ok := m["name"].(string); ok {
+		return n
+	}
+	return ""
+}

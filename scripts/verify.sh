@@ -40,6 +40,17 @@ for procs in 1 4; do
 		./internal/kdtree ./internal/kinetic ./internal/harness
 done
 
+echo "== zero-allocation gates =="
+# The steady-state query hot loops must stay allocation-free above the
+# buffer pool; testing.AllocsPerRun makes a regression a test failure.
+go test -count=1 -run 'ZeroAlloc' ./internal/bptree
+
+echo "== bench smoke =="
+# One iteration of each benchmark: catches bit-rot in the benchmark code
+# (and the bulk-vs-incremental build paths it drives) without timing
+# anything.
+go test -run '^$' -bench . -benchtime=1x ./internal/bptree
+
 echo "== fuzz smoke =="
 go test ./internal/bptree -run '^$' -fuzz '^FuzzDecodeNode$' -fuzztime=10s
 go test ./internal/pager -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s
