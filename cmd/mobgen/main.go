@@ -25,28 +25,36 @@ func main() {
 	)
 	flag.Parse()
 
-	p := workload.DefaultParams(*n)
-	p.Ticks = *ticks
-	p.Seed = *seed
-	sim, err := workload.NewSimulator(p)
-	if err != nil {
+	if err := run(*n, *ticks, *seed, *opsPath, *qPath, *every); err != nil {
 		fmt.Fprintf(os.Stderr, "mobgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// run does the whole dump and returns the first error, so that deferred
+// closes still run and no buffered CSV is silently truncated on failure.
+func run(n, ticks int, seed int64, opsPath, qPath string, every int) error {
+	p := workload.DefaultParams(n)
+	p.Ticks = ticks
+	p.Seed = seed
+	sim, err := workload.NewSimulator(p)
+	if err != nil {
+		return err
+	}
 
 	opsOut := os.Stdout
-	if *opsPath != "-" {
-		f, err := os.Create(*opsPath)
+	if opsPath != "-" {
+		f, err := os.Create(opsPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mobgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		opsOut = f
 	}
 	ow := bufio.NewWriter(opsOut)
-	defer ow.Flush()
-	fmt.Fprintln(ow, "tick,op,oid,y0,t0,v")
+	if _, err := fmt.Fprintln(ow, "tick,op,oid,y0,t0,v"); err != nil {
+		return err
+	}
 	tick := 0
 	emit := func(op workload.Op) error {
 		kind := "D"
@@ -59,34 +67,43 @@ func main() {
 	}
 
 	var qw *bufio.Writer
-	if *qPath != "" {
-		f, err := os.Create(*qPath)
+	if qPath != "" {
+		f, err := os.Create(qPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mobgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		qw = bufio.NewWriter(f)
-		defer qw.Flush()
-		fmt.Fprintln(qw, "tick,mix,y1,y2,t1,t2,answer")
+		if _, err := fmt.Fprintln(qw, "tick,mix,y1,y2,t1,t2,answer"); err != nil {
+			return err
+		}
 	}
 
 	if err := sim.Bootstrap(emit); err != nil {
-		fmt.Fprintf(os.Stderr, "mobgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	for tick = 1; tick <= *ticks; tick++ {
+	for tick = 1; tick <= ticks; tick++ {
 		if err := sim.Tick(emit); err != nil {
-			fmt.Fprintf(os.Stderr, "mobgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		if qw != nil && tick%*every == 0 {
+		if qw != nil && tick%every == 0 {
 			for _, mix := range []workload.QueryMix{workload.LargeQueries(), workload.SmallQueries()} {
 				for _, q := range sim.Queries(mix) {
-					fmt.Fprintf(qw, "%d,%s,%g,%g,%g,%g,%d\n",
-						tick, mix.Name, q.Y1, q.Y2, q.T1, q.T2, len(sim.BruteForce(q)))
+					if _, err := fmt.Fprintf(qw, "%d,%s,%g,%g,%g,%g,%d\n",
+						tick, mix.Name, q.Y1, q.Y2, q.T1, q.T2, len(sim.BruteForce(q))); err != nil {
+						return err
+					}
 				}
 			}
 		}
 	}
+	if err := ow.Flush(); err != nil {
+		return err
+	}
+	if qw != nil {
+		if err := qw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,78 @@
+// Command mobidxlint runs the project-invariant static-analysis suite
+// over the given package patterns and reports every violation with a
+// position-accurate diagnostic. It exits 1 when there are findings, 2
+// when the analysis itself could not run, and 0 on a clean tree — which
+// is what lets scripts/verify.sh gate on it.
+//
+//	mobidxlint ./...                 # whole repo, human-readable
+//	mobidxlint -json ./...           # machine-readable findings
+//	mobidxlint -passes errdrop ./... # one pass only
+//	mobidxlint -list                 # describe the suite
+//
+// Suppressions are per-line and must carry a reason:
+//
+//	//mobidxlint:allow errdrop -- torn-write injection is the point here
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mobidx/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		passes  = flag.String("passes", "all", "comma-separated pass names to run")
+		list    = flag.Bool("list", false, "list the available passes and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.All() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	selected, err := analysis.ByName(*passes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunPasses(pkgs, selected)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "mobidxlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden expect.txt files")
+
+// runFixture loads one testdata directory as a package and runs a single
+// pass over it directly (bypassing AppliesTo, which keys on real import
+// paths), honoring //mobidxlint:allow annotations the way RunPasses
+// does. Diagnostics come back as golden-comparable lines with the file
+// path reduced to its base name.
+func runFixture(t *testing.T, pass *Pass, dir string) []string {
+	t.Helper()
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	allow := buildAllowSet(pkg)
+	var lines []string
+	for _, d := range pass.Run(pkg) {
+		if allow[allowKey{d.File, d.Line, d.Pass}] || allow[allowKey{d.File, d.Line, "all"}] {
+			continue
+		}
+		d.File = filepath.Base(d.File)
+		lines = append(lines, d.String())
+	}
+	return lines
+}
+
+// TestGolden checks every pass against a failing and a passing fixture:
+// the bad directory must reproduce its expect.txt line for line, and the
+// good directory must produce no findings at all. Run with -update to
+// regenerate the goldens after changing a pass or a fixture.
+func TestGolden(t *testing.T) {
+	for _, pass := range All() {
+		pass := pass
+		t.Run(pass.Name+"/bad", func(t *testing.T) {
+			dir := filepath.Join("testdata", pass.Name, "bad")
+			got := runFixture(t, pass, dir)
+			if len(got) == 0 {
+				t.Fatalf("%s produced no findings on its bad fixture", pass.Name)
+			}
+			goldenPath := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if g, w := strings.Join(got, "\n")+"\n", string(want); g != w {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", g, w)
+			}
+		})
+		t.Run(pass.Name+"/good", func(t *testing.T) {
+			got := runFixture(t, pass, filepath.Join("testdata", pass.Name, "good"))
+			if len(got) != 0 {
+				t.Errorf("%s flagged the clean fixture:\n%s", pass.Name, strings.Join(got, "\n"))
+			}
+		})
+	}
+}
+
+// TestAllowDirective checks both placement forms of //mobidxlint:allow:
+// the annotated drops vanish, the unannotated one is still reported.
+func TestAllowDirective(t *testing.T) {
+	got := runFixture(t, ErrDrop, filepath.Join("testdata", "allow"))
+	if len(got) != 1 {
+		t.Fatalf("want exactly the unannotated finding, got %d:\n%s", len(got), strings.Join(got, "\n"))
+	}
+	if !strings.Contains(got[0], "allow.go:18") {
+		t.Errorf("surviving finding anchored to the wrong line: %s", got[0])
+	}
+}
+
+// TestRepoClean is the self-check the verify gate relies on: the full
+// suite, with AppliesTo filters and annotations in force, finds nothing
+// in the repository's own production code.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if diags := RunPasses(pkgs, All()); len(diags) != 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		t.Errorf("mobidxlint is not clean on its own repository:\n%s", b.String())
+	}
+}
+
+// TestByName covers the -passes flag resolution used by the CLI.
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d passes, err %v", len(all), err)
+	}
+	two, err := ByName("errdrop, nopanic")
+	if err != nil || len(two) != 2 || two[0] != ErrDrop || two[1] != NoPanic {
+		t.Fatalf("ByName(errdrop, nopanic) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuchpass"); err == nil {
+		t.Fatal("ByName(nosuchpass) should fail")
+	}
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop is the stricter-than-vet unchecked-error check. It reports
+//
+//   - expression-statement calls whose result tuple contains an error
+//     (a "bare call": the error vanishes without a trace);
+//   - assignments that send an error result into the blank identifier;
+//   - deferred and goroutine calls that drop an error.
+//
+// A storage engine has no harmless I/O errors — a dropped Write error on
+// one path is a torn page discovered thousands of operations later — so
+// the default is that every error is handled. The allowlist covers the
+// only idioms where dropping is sound: terminal printing through fmt to
+// stdout/stderr, writers that are documented to never fail
+// (bytes.Buffer, strings.Builder, hash.Hash), and `defer f.Close()` on
+// read paths. Intentional drops (fault injection, best-effort cache
+// warming) must carry a //mobidxlint:allow errdrop annotation with the
+// reason.
+var ErrDrop = &Pass{
+	Name: "errdrop",
+	Doc:  "no error result may be silently dropped (bare calls, assignments to _)",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pkg *Package) []Diagnostic {
+	c := &errDropChecker{pkg: pkg}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					c.checkBare(call, "")
+				}
+			case *ast.DeferStmt:
+				if !c.isMethodNamed(n.Call, "Close") {
+					c.checkBare(n.Call, "deferred ")
+				}
+			case *ast.GoStmt:
+				c.checkBare(n.Call, "goroutine ")
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			}
+			return true
+		})
+	}
+	return c.diags
+}
+
+type errDropChecker struct {
+	pkg   *Package
+	diags []Diagnostic
+}
+
+// errorResults returns how many of the call's results are of type error.
+func (c *errDropChecker) errorResults(call *ast.CallExpr) int {
+	tv, ok := c.pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	count := 0
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				count++
+			}
+		}
+	default:
+		if isErrorType(t) {
+			count++
+		}
+	}
+	return count
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func (c *errDropChecker) checkBare(call *ast.CallExpr, kind string) {
+	if c.errorResults(call) == 0 || c.allowedBare(call) {
+		return
+	}
+	c.diags = append(c.diags, c.pkg.diag("errdrop", call.Pos(),
+		"%scall to %s drops its error result", kind, calleeName(call.Fun)))
+}
+
+// checkAssign flags error results routed into the blank identifier.
+func (c *errDropChecker) checkAssign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// a, b := f() — match blanks against the result tuple.
+		call, ok := unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok || c.allowedBare(call) {
+			return
+		}
+		tv, ok := c.pkg.Info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(s.Lhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(tuple.At(i).Type()) {
+				c.diags = append(c.diags, c.pkg.diag("errdrop", lhs.Pos(),
+					"error result of %s is assigned to _", calleeName(call.Fun)))
+			}
+		}
+		return
+	}
+	if len(s.Rhs) != len(s.Lhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		tv, ok := c.pkg.Info.Types[s.Rhs[i]]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := unparen(s.Rhs[i]).(*ast.CallExpr); ok && c.allowedBare(call) {
+			continue
+		}
+		c.diags = append(c.diags, c.pkg.diag("errdrop", lhs.Pos(),
+			"error value is assigned to _"))
+	}
+}
+
+// neverFailingWriters under-approximates types whose Write/WriteString/
+// WriteByte error results are documented to always be nil.
+var neverFailingWriters = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+// isNeverFailingWriter reports whether the expression is (a pointer to)
+// a writer whose errors are always nil, so fmt.Fprintf into it cannot
+// fail either.
+func (c *errDropChecker) isNeverFailingWriter(e ast.Expr) bool {
+	tv, ok := c.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return neverFailingWriters[named.Obj().Pkg().Name()+"."+named.Obj().Name()]
+}
+
+func (c *errDropChecker) allowedBare(call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		// fmt.Print* to the process's own terminal streams.
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if obj, isPkg := c.pkg.Info.Uses[pkgID].(*types.PkgName); isPkg && obj.Imported().Path() == "fmt" {
+				switch fun.Sel.Name {
+				case "Print", "Printf", "Println":
+					return true
+				case "Fprint", "Fprintf", "Fprintln":
+					return len(call.Args) > 0 &&
+						(isStdStream(c.pkg, call.Args[0]) || c.isNeverFailingWriter(call.Args[0]))
+				}
+			}
+		}
+		// Methods on writers that never fail.
+		if tn := namedReceiver(c.pkg.Info, fun); tn != nil && tn.Pkg() != nil {
+			if neverFailingWriters[tn.Pkg().Name()+"."+tn.Name()] {
+				return true
+			}
+			// hash.Hash implementations: "Write ... never returns an
+			// error" per the hash package contract.
+			if tn.Pkg().Path() == "hash" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isStdStream matches os.Stdout / os.Stderr.
+func isStdStream(pkg *Package, e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, isPkg := pkg.Info.Uses[pkgID].(*types.PkgName)
+	return isPkg && obj.Imported().Path() == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+// isMethodNamed reports whether the call is a method call with the given
+// selector name.
+func (c *errDropChecker) isMethodNamed(call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}

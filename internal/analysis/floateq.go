@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatEq forbids exact floating-point comparison — == and != binary
+// expressions and switch statements over a float tag — in the geometry
+// and dual-transform packages. Exact comparison is how epsilon
+// discipline erodes: one `v == 0` upstream of a division turns a
+// near-stationary object into an infinite residence interval. All
+// comparisons must go through the epsilon helpers in internal/geom
+// (geom.ApproxEq, or explicit ±geom.Eps bounds, neither of which uses
+// ==). The approved helpers themselves are exempt by name.
+var FloatEq = &Pass{
+	Name: "floateq",
+	Doc:  "no ==/!=/switch on float operands in geometry code outside the approved epsilon helpers",
+	AppliesTo: func(path string) bool {
+		return pathHasSuffix(path, "internal/geom") ||
+			pathHasSuffix(path, "internal/dual") ||
+			pathHasSuffix(path, "internal/twod")
+	},
+	Run: runFloatEq,
+}
+
+// floatEqApproved names the epsilon helpers allowed to compare floats
+// exactly (e.g. a fast path that short-circuits on bit equality before
+// falling back to a tolerance check).
+var floatEqApproved = map[string]bool{
+	"ApproxEq": true,
+}
+
+func runFloatEq(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	for _, file := range pkg.Files {
+		for _, fn := range file.Decls {
+			decl, ok := fn.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if floatEqApproved[decl.Name.Name] {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op.String() != "==" && n.Op.String() != "!=" {
+						return true
+					}
+					if isFloat(n.X) || isFloat(n.Y) {
+						diags = append(diags, pkg.diag("floateq", n.OpPos,
+							"exact float comparison (%s) in %s; use geom.ApproxEq or an explicit ±geom.Eps bound",
+							n.Op, decl.Name.Name))
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isFloat(n.Tag) {
+						diags = append(diags, pkg.diag("floateq", n.Switch,
+							"switch on a float tag in %s compares exactly; use epsilon comparisons",
+							decl.Name.Name))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPanic forbids direct panic calls in library packages (everything
+// under internal/ plus the root facade). Index and storage code must
+// surface failures as errors — a panic inside a page codec takes the
+// whole serving process down, where an error fails one query. The only
+// sanctioned way to crash is an invariant-violation helper (a function
+// whose name starts with "must", "panic" or "invariant"), which keeps
+// the crash sites greppable and the policy auditable. Command-line tools
+// and examples are outside the pass's AppliesTo filter.
+var NoPanic = &Pass{
+	Name: "nopanic",
+	Doc:  "library packages may not call panic except via invariant-violation helpers",
+	AppliesTo: func(path string) bool {
+		if strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/") {
+			return true
+		}
+		// The root facade: a module path with no slash-separated
+		// cmd/examples/internal qualifier.
+		return !strings.ContainsAny(path, "/")
+	},
+	Run: runNoPanic,
+}
+
+// invariantHelperPrefixes name the functions allowed to panic.
+var invariantHelperPrefixes = []string{"must", "panic", "invariant"}
+
+func isInvariantHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range invariantHelperPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoPanic(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isInvariantHelper(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Only the builtin: a local function named panic (which
+				// the helper rule would already bless) resolves to an
+				// object; the builtin resolves to types.Builtin.
+				if obj := pkg.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+					return true
+				}
+				diags = append(diags, pkg.diag("nopanic", call.Pos(),
+					"library code calls panic in %s; return an error, or route the crash "+
+						"through a must*/invariant* helper", fn.Name.Name))
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,19 @@
+// Package allow exercises the //mobidxlint:allow directive: the two
+// annotated drops (own-line and same-line forms) are suppressed, the
+// unannotated one is reported.
+package allow
+
+import "os"
+
+func ownLine(f *os.File) {
+	//mobidxlint:allow errdrop -- fixture: drop is deliberate
+	_ = f.Sync()
+}
+
+func sameLine(f *os.File) {
+	_ = f.Sync() //mobidxlint:allow errdrop -- fixture: same-line form
+}
+
+func unannotated(f *os.File) {
+	_ = f.Sync()
+}

@@ -1,0 +1,26 @@
+// Package bad encodes records that overrun their declared layout: a
+// fixed header field that bleeds into the record area and a per-record
+// write that bleeds into the next record. Both offsets constant-fold,
+// so the codecbounds pass must reject them.
+package bad
+
+import "encoding/binary"
+
+const headerSize = 8
+const recSize = 12
+
+func put16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
+func put32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func writeBad(d []byte, recs [][3]uint32) {
+	d[0] = 1
+	put32(d[6:], 9)
+	off := headerSize
+	for _, r := range recs {
+		put32(d[off:], r[0])
+		put32(d[off+4:], r[1])
+		put32(d[off+10:], r[2])
+		off += recSize
+	}
+	put16(d[2:], uint16(len(recs)))
+}

@@ -1,0 +1,42 @@
+// Package good encodes the same page shape as the bad fixture but with
+// every constant-folded access inside the header region and the record
+// stride, including the per-branch stride pattern the real codecs use.
+package good
+
+import "encoding/binary"
+
+const headerSize = 8
+const recSize = 12
+const wideSize = 16
+
+func put16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
+func put32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func writeGood(d []byte, recs [][3]uint32, wide bool) {
+	d[0] = 1
+	put32(d[4:], 9)
+	off := headerSize
+	for _, r := range recs {
+		if wide {
+			put32(d[off:], r[0])
+			put32(d[off+4:], r[1])
+			put32(d[off+8:], r[2])
+			put32(d[off+12:], 0)
+			off += wideSize
+		} else {
+			put32(d[off:], r[0])
+			put32(d[off+4:], r[1])
+			put32(d[off+8:], r[2])
+			off += recSize
+		}
+	}
+	put16(d[2:], uint16(len(recs)))
+}
+
+func chunked(d []byte, pts []float64) {
+	off := headerSize
+	for i := 0; i < len(pts); i += 4 {
+		put32(d[off:], uint32(i))
+		off += recSize
+	}
+}

@@ -1,0 +1,33 @@
+// Package bad drops errors in every way the errdrop pass reports: bare
+// calls, blank assignments (direct and through a result tuple), deferred
+// non-Close calls, goroutine calls, and fmt writes to a fallible writer.
+package bad
+
+import (
+	"fmt"
+	"os"
+)
+
+func bare(f *os.File) {
+	f.Sync()
+}
+
+func blank(f *os.File) {
+	_ = f.Sync()
+}
+
+func tupleBlank() {
+	_, _ = os.Create("x")
+}
+
+func deferredSync(f *os.File) {
+	defer f.Sync()
+}
+
+func goroutine(f *os.File) {
+	go f.Sync()
+}
+
+func fprintfToFile(f *os.File) {
+	fmt.Fprintf(f, "x")
+}

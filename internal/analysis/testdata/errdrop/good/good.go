@@ -1,0 +1,40 @@
+// Package good handles errors the ways the errdrop pass accepts:
+// explicit checks, the defer-Close read-path idiom, terminal printing,
+// and writers that are documented to never fail.
+package good
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferClose(f *os.File) {
+	defer f.Close()
+}
+
+func terminal() {
+	fmt.Println("progress")
+	fmt.Fprintln(os.Stderr, "warning")
+}
+
+func builder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("y")
+	return b.String()
+}
+
+func buffer() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x=%d", 1)
+	return b.Bytes()
+}

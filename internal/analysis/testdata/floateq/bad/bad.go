@@ -1,0 +1,15 @@
+// Package bad compares floats exactly — the erosion of epsilon
+// discipline the floateq pass exists to stop.
+package bad
+
+func sameSpeed(a, b float64) bool { return a == b }
+
+func moving(v float64) bool { return v != 0 }
+
+func classify(v float64) int {
+	switch v {
+	case 0:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,14 @@
+// Package good compares floats the sanctioned ways: through an approved
+// epsilon helper (which may use == internally as a bit-equality fast
+// path) or with explicit ±eps bounds.
+package good
+
+import "math"
+
+const eps = 1e-9
+
+func ApproxEq(a, b float64) bool { return a == b || math.Abs(a-b) <= eps }
+
+func moving(v float64) bool { return math.Abs(v) > eps }
+
+func inRange(v, lo, hi float64) bool { return v >= lo-eps && v <= hi+eps }

@@ -1,0 +1,17 @@
+// Package bad panics directly from ordinary library functions — the
+// crash-the-server shape the nopanic pass reports.
+package bad
+
+func decode(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty page")
+	}
+	return b[0]
+}
+
+func index(i, n int) int {
+	if i >= n {
+		panic("out of range")
+	}
+	return i
+}

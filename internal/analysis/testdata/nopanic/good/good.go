@@ -1,0 +1,23 @@
+// Package good crashes only through invariant-violation helpers and
+// otherwise surfaces failures as errors — the policy nopanic enforces.
+package good
+
+import "fmt"
+
+func mustLen(b []byte, n int) {
+	if len(b) < n {
+		panic(fmt.Sprintf("page too short: %d < %d", len(b), n))
+	}
+}
+
+func invariantViolated(msg string) {
+	panic("invariant violated: " + msg)
+}
+
+func decode(b []byte) (byte, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty page")
+	}
+	mustLen(b, 1)
+	return b[0], nil
+}

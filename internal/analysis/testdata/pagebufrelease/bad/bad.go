@@ -1,0 +1,31 @@
+// Package bad exercises every leak shape the pagebufrelease pass
+// reports: a return with the buffer still live, an early return that
+// skips the release on one path, a discarded acquisition, and a
+// reassignment that overwrites a live buffer.
+package bad
+
+import "mobidx/internal/pager"
+
+func leakOnReturn(s pager.Store) error {
+	pb := pager.GetPageBuf(64)
+	pb.B[0] = 1
+	return s.Write(&pager.Page{ID: 1, Data: pb.B})
+}
+
+func leakOnOnePath(cond bool) {
+	pb := pager.GetPageBuf(64)
+	if cond {
+		return
+	}
+	pb.Release()
+}
+
+func discarded() {
+	_ = pager.GetPageBuf(32)
+}
+
+func reassigned() {
+	pb := pager.GetPageBuf(32)
+	pb = pager.GetPageBuf(64)
+	pb.Release()
+}

@@ -1,0 +1,41 @@
+// Package good holds PageBuf usage the pagebufrelease pass must accept:
+// release on every path, deferred release, and ownership hand-off.
+package good
+
+import "mobidx/internal/pager"
+
+func releaseAllPaths(s pager.Store, cond bool) error {
+	pb := pager.GetPageBuf(64)
+	if cond {
+		pb.Release()
+		return nil
+	}
+	err := s.Write(&pager.Page{ID: 1, Data: pb.B})
+	pb.Release()
+	return err
+}
+
+func deferred(s pager.Store) error {
+	pb := pager.GetPageBuf(64)
+	defer pb.Release()
+	return s.Write(&pager.Page{ID: 2, Data: pb.B})
+}
+
+func consume(pb *pager.PageBuf) { pb.Release() }
+
+func handedOff() {
+	pb := pager.GetPageBuf(16)
+	consume(pb)
+}
+
+func releasedInLoop(s pager.Store, n int) error {
+	for i := 0; i < n; i++ {
+		pb := pager.GetPageBuf(32)
+		if err := s.Write(&pager.Page{ID: pager.PageID(i + 1), Data: pb.B}); err != nil {
+			pb.Release()
+			return err
+		}
+		pb.Release()
+	}
+	return nil
+}

@@ -51,7 +51,7 @@ type MORQuery struct {
 func (m Motion) Matches(q MORQuery) bool {
 	// The times at which y(t) ∈ [Y1, Y2] form a closed interval (possibly
 	// empty, possibly unbounded for v = 0); intersect it with [T1, T2].
-	if m.V == 0 {
+	if geom.ApproxEq(m.V, 0) {
 		return m.Y0 >= q.Y1-geom.Eps && m.Y0 <= q.Y2+geom.Eps
 	}
 	tA := m.T0 + (q.Y1-m.Y0)/m.V

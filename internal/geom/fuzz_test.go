@@ -1,0 +1,67 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClipConvex drives the Sutherland–Hodgman clipper (ClipRect /
+// clipPolygon) with arbitrary rectangles and half-plane pairs and checks
+// the properties the access methods rely on:
+//
+//   - ClipRect returns a non-nil polygon iff IntersectsRect reports an
+//     intersection (the two walk the same clip, so disagreement means a
+//     divergence bug);
+//   - every returned vertex lies inside the rectangle and satisfies
+//     every constraint, to within a rounding tolerance scaled to the
+//     magnitudes involved;
+//   - the clip of a 4-gon by k half-planes has at most 4+k vertices
+//     (each half-plane adds at most one);
+//   - ContainsRect implies IntersectsRect for non-empty rectangles.
+func FuzzClipConvex(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 1.0, 0.0, 5.0, 0.0, 1.0, 5.0)
+	f.Add(-3.0, -3.0, 3.0, 3.0, 1.0, 1.0, 0.0, -1.0, 1.0, 2.0)
+	f.Add(0.0, 0.0, 1.0, 1.0, -1.0, 0.0, -2.0, 0.0, 0.0, 0.0)
+	f.Add(5.0, 5.0, 5.0, 5.0, 0.0, 1.0, 5.0, 1.0, 0.0, 5.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, a1, b1, c1, a2, b2, c2 float64) {
+		for _, v := range []float64{x1, y1, x2, y2, a1, b1, c1, a2, b2, c2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e4 {
+				t.Skip("outside the coordinate regime the tolerances are scaled for")
+			}
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		rect := Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+		region := NewRegion(Constraint{A: a1, B: b1, C: c1}, Constraint{A: a2, B: b2, C: c2})
+
+		poly := region.ClipRect(rect)
+		if inter := region.IntersectsRect(rect); (poly != nil) != inter {
+			t.Fatalf("ClipRect=%v but IntersectsRect=%v for rect=%+v region=%+v", poly, inter, rect, region)
+		}
+		if region.ContainsRect(rect) && poly == nil {
+			t.Fatalf("ContainsRect but no intersection for rect=%+v region=%+v", rect, region)
+		}
+		if len(poly) > 4+len(region.Cs) {
+			t.Fatalf("clip of a 4-gon by %d half-planes has %d vertices", len(region.Cs), len(poly))
+		}
+
+		coordTol := 1e-9 * (1 + math.Max(math.Abs(x1)+math.Abs(x2), math.Abs(y1)+math.Abs(y2)))
+		for _, p := range poly {
+			if p.X < rect.MinX-coordTol || p.X > rect.MaxX+coordTol ||
+				p.Y < rect.MinY-coordTol || p.Y > rect.MaxY+coordTol {
+				t.Fatalf("vertex %+v escapes rect %+v (tol %g)", p, rect, coordTol)
+			}
+			for _, c := range region.Cs {
+				scale := (math.Abs(c.A) + math.Abs(c.B)) * (1 + math.Max(math.Abs(p.X), math.Abs(p.Y)))
+				if c.Eval(p) > Eps+1e-9*scale {
+					t.Fatalf("vertex %+v violates constraint %+v by %g (tol %g)",
+						p, c, c.Eval(p), Eps+1e-9*scale)
+				}
+			}
+		}
+	})
+}

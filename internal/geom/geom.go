@@ -17,6 +17,13 @@ import "math"
 // absolute tolerance is adequate.
 const Eps = 1e-9
 
+// ApproxEq reports whether a and b are equal to within Eps. It is the
+// only sanctioned way to test two floats for equality in this module;
+// exact ==/!= on floats is rejected by the floateq static-analysis pass.
+func ApproxEq(a, b float64) bool {
+	return math.Abs(a-b) <= Eps
+}
+
 // Point is a point in the plane.
 type Point struct {
 	X, Y float64

@@ -232,6 +232,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 			// inside the exclusive section stops the whole server.
 			warm := func(m dual.Motion) {
 				q := dual.MORQuery{Y1: m.Y0, Y2: m.Y0, T1: m.T0, T2: m.T0}
+				//mobidxlint:allow errdrop -- best-effort cache warming; a failed prefetch only costs latency
 				_ = ix.Query(q, func(dual.OID) {})
 			}
 			interval := time.Duration(float64(time.Second) / cfg.UpdatesPerSec)

@@ -213,6 +213,7 @@ func (f *FaultStore) Write(p *Page) error {
 		copy(data[:cut], p.Data[:cut])
 		// Best effort: if even the torn write fails, the original error
 		// still describes the situation.
+		//mobidxlint:allow errdrop -- torn-write injection is the point; the injected error is already returned
 		_ = f.under.Write(&Page{ID: p.ID, Data: data})
 	}
 	return err

@@ -358,8 +358,7 @@ func NewFileStore(path string, pageSize int) (*FileStore, error) {
 	}
 	fs := &FileStore{f: f, pageSize: pageSize, next: 1, live: make(map[PageID]struct{})}
 	if err := fs.Sync(); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return fs, nil
 }
@@ -374,8 +373,7 @@ func OpenFileStore(path string) (*FileStore, error) {
 	}
 	fs, err := recoverFileStore(f)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("pager: open %s: %w", path, err), f.Close())
 	}
 	return fs, nil
 }

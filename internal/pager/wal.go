@@ -198,8 +198,7 @@ func OpenFileLog(path string) (*FileLog, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: stat log %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("pager: stat log %s: %w", path, err), f.Close())
 	}
 	return &FileLog{f: f, size: st.Size()}, nil
 }

@@ -33,6 +33,7 @@ import (
 	"mobidx/internal/bptree"
 	"mobidx/internal/core"
 	"mobidx/internal/dual"
+	"mobidx/internal/geom"
 	"mobidx/internal/kdnd"
 	"mobidx/internal/pager"
 )
@@ -74,8 +75,8 @@ func (m Motion2D) Matches(q MOR2Query) bool {
 	lo, hi := q.T1, q.T2
 	clip := func(p0, v, a, b float64) bool {
 		// Times with a <= p0 + v·(t−T0) <= b.
-		if v == 0 {
-			return p0 >= a-1e-9 && p0 <= b+1e-9
+		if geom.ApproxEq(v, 0) {
+			return p0 >= a-geom.Eps && p0 <= b+geom.Eps
 		}
 		tA := m.T0 + (a-p0)/v
 		tB := m.T0 + (b-p0)/v

@@ -1,13 +1,14 @@
 #!/bin/sh
-# Repo verification gate: formatting, vet, build, full tests (shuffled),
-# the concurrency suites under the race detector, a GOMAXPROCS stress
-# matrix for the parallel serving paths, and fuzz smoke tests.
+# Repo verification gate: formatting, vet, the mobidxlint invariant
+# suite, build, full tests (shuffled), the concurrency suites under the
+# race detector, a GOMAXPROCS stress matrix for the parallel serving
+# paths, and fuzz smoke tests.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
+echo "== gofmt -s =="
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
@@ -19,6 +20,12 @@ go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== mobidxlint =="
+# The project-invariant static-analysis suite (cmd/mobidxlint): buffer
+# release pairing, WAL batch discipline, codec bounds, float equality,
+# dropped errors, library panics. Exits non-zero on any finding.
+go run ./cmd/mobidxlint ./...
 
 echo "== go test (shuffled) =="
 go test -shuffle=on ./...
@@ -54,5 +61,6 @@ go test -run '^$' -bench . -benchtime=1x ./internal/bptree
 echo "== fuzz smoke =="
 go test ./internal/bptree -run '^$' -fuzz '^FuzzDecodeNode$' -fuzztime=10s
 go test ./internal/pager -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s
+go test ./internal/geom -run '^$' -fuzz '^FuzzClipConvex$' -fuzztime=10s
 
 echo "verify: all checks passed"
