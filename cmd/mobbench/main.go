@@ -40,6 +40,14 @@ func main() {
 		tpRebuild  = flag.Bool("tprebuild", false, "perform a mid-run bulk reindex in each -throughput run")
 		benchOut   = flag.String("benchout", "BENCH_parallel.json", "output file for the -throughput report")
 
+		shardBench  = flag.Bool("shard", false, "run the sharded serving benchmark instead of the figures")
+		shardCounts = flag.String("shardcounts", "1,2,4,8", "comma-separated shard counts for -shard")
+		shardWork   = flag.Int("shardworkers", 0, "query-serving goroutines for -shard (0 = GOMAXPROCS)")
+		shardN      = flag.Int("shardn", 20000, "object count for -shard")
+		shardQ      = flag.Int("shardqueries", 4000, "queries served per run in -shard")
+		shardIO     = flag.Duration("shardio", 150*time.Microsecond, "simulated disk latency per page read in -shard (0 = in-memory)")
+		shardOut    = flag.String("shardout", "BENCH_shard.json", "output file for the -shard report")
+
 		build    = flag.Bool("build", false, "run the incremental-vs-bulk construction benchmark instead of the figures")
 		buildN   = flag.Int("buildn", 100000, "records per structure for -build")
 		buildOut = flag.String("buildout", "BENCH_build.json", "output file for the -build report")
@@ -49,6 +57,14 @@ func main() {
 	if *build {
 		if err := runBuild(*buildN, *buildOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mobbench: build: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *shardBench {
+		if err := runShardBench(*shardCounts, *shardWork, *shardN, *shardQ, *shardIO, *shardOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mobbench: shard: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -206,6 +222,89 @@ func runThroughput(workersCSV string, n, queries int, ioLat time.Duration, rebui
 		rep.Differential = err.Error()
 	}
 	fmt.Printf("  differential (parallel vs sequential vs oracle): %s\n", rep.Differential)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	if rep.Differential != "ok" {
+		return fmt.Errorf("differential check failed: %s", rep.Differential)
+	}
+	return nil
+}
+
+// runShardBench serves the query workload through a shard.Router at each
+// shard count, then repeats the widest topology under a rolling fault
+// storm (QPS-under-chaos), and writes the machine-readable report to
+// outPath.
+func runShardBench(countsCSV string, workers, n, queries int, ioLat time.Duration, outPath string) error {
+	counts, err := parseInts(countsCSV)
+	if err != nil {
+		return fmt.Errorf("bad -shardcounts: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("Sharded serving benchmark: N=%d, %d queries per run, %d serving goroutines, %v per page read, GOMAXPROCS=%d\n",
+		n, queries, workers, ioLat, runtime.GOMAXPROCS(0))
+
+	type report struct {
+		N            int                         `json:"n"`
+		Queries      int                         `json:"queries_per_run"`
+		Workers      int                         `json:"workers"`
+		IOLatencyUs  float64                     `json:"io_latency_us"`
+		GOMAXPROCS   int                         `json:"gomaxprocs"`
+		Runs         []*harness.ShardBenchResult `json:"runs"`
+		Chaos        *harness.ShardBenchResult   `json:"chaos"`
+		SpeedupMaxV1 float64                     `json:"speedup_max_v1,omitempty"`
+		Differential string                      `json:"differential"`
+	}
+	rep := report{
+		N: n, Queries: queries, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IOLatencyUs: float64(ioLat.Nanoseconds()) / 1e3,
+	}
+	qpsAt := map[int]float64{}
+	maxShards := 1
+	for _, s := range counts {
+		res, err := harness.RunShardBench(harness.ShardBenchConfig{
+			N: n, Shards: s, Workers: workers, Queries: queries, IOLatency: ioLat,
+		})
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", s, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		qpsAt[s] = res.QPS
+		if s > maxShards {
+			maxShards = s
+		}
+		fmt.Printf("  shards=%-2d  %8.0f q/s   p50 %8.0fus   p99 %8.0fus\n",
+			s, res.QPS, res.P50us, res.P99us)
+	}
+	if qpsAt[1] > 0 && qpsAt[maxShards] > 0 && maxShards > 1 {
+		rep.SpeedupMaxV1 = qpsAt[maxShards] / qpsAt[1]
+		fmt.Printf("  speedup %d vs 1 shards: %.2fx\n", maxShards, rep.SpeedupMaxV1)
+	}
+
+	chaos, err := harness.RunShardBench(harness.ShardBenchConfig{
+		N: n, Shards: maxShards, Workers: workers, Queries: queries, IOLatency: ioLat,
+		Chaos: true,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos run: %w", err)
+	}
+	rep.Chaos = chaos
+	fmt.Printf("  chaos (shards=%d, rolling transient storms): %8.0f q/s   p99 %8.0fus   %d retries, %d partial, %d breaker skips\n",
+		maxShards, chaos.QPS, chaos.P99us, chaos.Retries, chaos.Partial, chaos.BreakerSkips)
+
+	rep.Differential = "ok"
+	if err := harness.CheckShardDifferential(min(n, 5000), 1999, counts); err != nil {
+		rep.Differential = err.Error()
+	}
+	fmt.Printf("  differential (routed vs unsharded oracle): %s\n", rep.Differential)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

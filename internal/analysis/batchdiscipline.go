@@ -20,11 +20,15 @@ var BatchDiscipline = &Pass{
 }
 
 // batchTypes are the pager types whose Begin/Commit/Rollback triple
-// forms the batch protocol.
+// forms the batch protocol. FaultStore joined when it grew Batcher
+// forwarding for the sharded serving layer (a FaultStore between an
+// index and its WAL must relay the protocol, so a Begin through it is as
+// binding as one on the WAL itself).
 var batchTypes = map[string]bool{
-	"WALStore": true,
-	"Buffered": true,
-	"Tx":       true,
+	"WALStore":   true,
+	"Buffered":   true,
+	"Tx":         true,
+	"FaultStore": true,
 }
 
 // batchExemptFuncs implement the protocol itself and legitimately call

@@ -14,3 +14,7 @@ func unclosedWAL(w *pager.WALStore) error {
 func unclosedBuffered(b *pager.Buffered) error {
 	return b.Begin()
 }
+
+func unclosedFault(f *pager.FaultStore) error {
+	return f.Begin()
+}

@@ -31,3 +31,16 @@ func bufferedCommit(b *pager.Buffered, p *pager.Page) error {
 	}
 	return b.Commit()
 }
+
+func faultCommit(f *pager.FaultStore, p *pager.Page) error {
+	if err := f.Begin(); err != nil {
+		return err
+	}
+	if err := f.Write(p); err != nil {
+		if rerr := f.Rollback(); rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return f.Commit()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -137,8 +138,16 @@ func (d *DualBPlus) Subqueries(q dual.MORQuery) []func(emit func(dual.OID)) erro
 // sorted ascending and deduplicated, and the slice is identical for every
 // worker count — a single-worker executor is the sequential reference.
 func (d *DualBPlus) QueryParallel(exec *Executor, q dual.MORQuery) ([]dual.OID, error) {
+	return d.QueryParallelCtx(context.Background(), exec, q)
+}
+
+// QueryParallelCtx is QueryParallel with a cancellation path: the context
+// is checked between subqueries (see Executor.RunCtx), so a router-imposed
+// deadline stops an in-flight query at piece granularity instead of
+// letting it run to completion against a sick store.
+func (d *DualBPlus) QueryParallelCtx(ctx context.Context, exec *Executor, q dual.MORQuery) ([]dual.OID, error) {
 	d.candidates.Store(0)
-	return RunSubqueries(exec, d.Subqueries(q))
+	return RunSubqueriesCtx(ctx, exec, d.Subqueries(q))
 }
 
 // dualBPGen is one generation.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -43,9 +44,29 @@ func (e *Executor) Workers() int { return e.workers }
 // tasks still run to completion, so no goroutine outlives Run). With one
 // worker the tasks run inline, in order, with no goroutines at all.
 func (e *Executor) Run(tasks []func() error) error {
+	return e.RunCtx(context.Background(), tasks)
+}
+
+// RunCtx is Run with a cancellation path: the context is checked before
+// every task is started, so a deadline or cancellation stops the fan-out
+// at task granularity — tasks not yet begun are skipped, tasks already
+// running finish (no goroutine is ever abandoned mid-flight), and the
+// context's error is returned once everything started has drained. A task
+// that wants finer-grained cancellation must watch the context itself.
+// Task errors take precedence over the context error in the return value,
+// since they describe what actually went wrong first. The workers <= 1
+// path stays inline — sequential, in order, zero goroutines — so a
+// single-worker executor remains the sequential reference implementation.
+func (e *Executor) RunCtx(ctx context.Context, tasks []func() error) error {
 	if e.workers <= 1 || len(tasks) <= 1 {
 		var first error
 		for _, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
 			if err := t(); err != nil && first == nil {
 				first = err
 			}
@@ -56,7 +77,12 @@ func (e *Executor) Run(tasks []func() error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var first error
+	var ctxErr error
 	for _, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
 		t := t
 		sem <- struct{}{}
 		wg.Add(1)
@@ -75,7 +101,10 @@ func (e *Executor) Run(tasks []func() error) error {
 		}()
 	}
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	return ctxErr
 }
 
 // MergeOIDs concatenates per-task result buckets, sorts ascending, and
@@ -113,6 +142,14 @@ func MergeOIDs(buckets [][]dual.OID) []dual.OID {
 // every parallel query path (1-dimensional here, 2-dimensional in package
 // twod).
 func RunSubqueries(exec *Executor, subs []func(emit func(dual.OID)) error) ([]dual.OID, error) {
+	return RunSubqueriesCtx(context.Background(), exec, subs)
+}
+
+// RunSubqueriesCtx is RunSubqueries with the executor's cancellation path:
+// the context stops the fan-out between subqueries (see RunCtx). On
+// cancellation the partial buckets are discarded and the context's error
+// is returned — a cancelled query has no answer, not a truncated one.
+func RunSubqueriesCtx(ctx context.Context, exec *Executor, subs []func(emit func(dual.OID)) error) ([]dual.OID, error) {
 	buckets := make([][]dual.OID, len(subs))
 	tasks := make([]func() error, len(subs))
 	for i, sq := range subs {
@@ -121,7 +158,7 @@ func RunSubqueries(exec *Executor, subs []func(emit func(dual.OID)) error) ([]du
 			return sq(func(id dual.OID) { buckets[i] = append(buckets[i], id) })
 		}
 	}
-	if err := exec.Run(tasks); err != nil {
+	if err := exec.RunCtx(ctx, tasks); err != nil {
 		return nil, err
 	}
 	return MergeOIDs(buckets), nil

@@ -1,0 +1,344 @@
+// Sharded serving mode: RunShardBench measures wall-clock MOR query
+// throughput against a shard.Router cluster — the fault-isolated serving
+// layer — across topologies (shard count × serving goroutines), and
+// optionally under a rolling fault storm (QPS-under-chaos): transient
+// read-fault bursts sweep across the shards while serving continues, the
+// retry budget absorbing most of them and graceful degradation accounting
+// for the rest. The same simulated-disk model as RunThroughput applies:
+// every page read under a shard stalls IOLatency, so sharding wins by
+// overlapping independent partitions' stalls.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/core"
+	"mobidx/internal/pager"
+	"mobidx/internal/shard"
+	"mobidx/internal/workload"
+)
+
+// Batcher forwarding for slowStore: a shard's FaultStore and index sit
+// above it, and their atomic write batches must reach the WAL below.
+func (s *slowStore) Begin() error {
+	if b, ok := s.Store.(pager.Batcher); ok {
+		return b.Begin()
+	}
+	return nil
+}
+
+// Commit forwards Batcher.
+func (s *slowStore) Commit() error {
+	if b, ok := s.Store.(pager.Batcher); ok {
+		return b.Commit()
+	}
+	return nil
+}
+
+// Rollback forwards Batcher.
+func (s *slowStore) Rollback() error {
+	if b, ok := s.Store.(pager.Batcher); ok {
+		return b.Rollback()
+	}
+	return nil
+}
+
+// ShardBenchConfig tunes one sharded serving run.
+type ShardBenchConfig struct {
+	N       int   // mobile objects (0 → 20000)
+	Shards  int   // cluster partitions (0 → 4)
+	Workers int   // query-serving goroutines (0 → GOMAXPROCS)
+	Queries int   // total queries to serve (0 → 4000)
+	Seed    int64 // scenario seed (0 → 1999)
+	// IOLatency stalls every page read under a shard (simulated disk),
+	// switched on after the load. Zero = in-memory.
+	IOLatency time.Duration
+	Mix       workload.QueryMix // zero value → the small-query mix
+	// Chaos turns on the rolling storm: a transient read-fault burst
+	// visits one shard at a time for BurstEvery, cycling through the
+	// cluster for the whole run, under a retry+degrade policy. Off, the
+	// cluster serves clean under the zero (strict) policy.
+	Chaos      bool
+	BurstEvery time.Duration // storm dwell per shard (0 → 3ms)
+}
+
+func (c *ShardBenchConfig) fill() {
+	if c.N == 0 {
+		c.N = 20000
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queries == 0 {
+		c.Queries = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1999
+	}
+	if c.Mix.PerSlot == 0 {
+		c.Mix = workload.SmallQueries()
+	}
+	if c.BurstEvery == 0 {
+		c.BurstEvery = 3 * time.Millisecond
+	}
+}
+
+// ShardBenchResult reports one sharded serving run.
+type ShardBenchResult struct {
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	Queries int     `json:"queries"`
+	Chaos   bool    `json:"chaos"`
+	QPS     float64 `json:"qps"`
+	P50us   float64 `json:"p50_us"`
+	P99us   float64 `json:"p99_us"`
+	// Failure-policy traffic (all zero on clean runs).
+	Retries      int64 `json:"retries"`
+	Partial      int64 `json:"partial_answers"`
+	BreakerSkips int64 `json:"breaker_skips"`
+	FailedCalls  int64 `json:"failed_shard_calls"`
+}
+
+// CheckShardDifferential verifies the sharding contract at bench scale:
+// for every shard count, a routed query over the bootstrap population is
+// byte-identical to the unsharded sequential oracle and to the workload
+// simulator's brute-force ground truth, on both query mixes.
+func CheckShardDifferential(n int, seed int64, shardCounts []int) error {
+	p := workload.DefaultParams(n)
+	p.Seed = seed
+	sim, err := workload.NewSimulator(p)
+	if err != nil {
+		return err
+	}
+	ix, err := core.NewDualBPlus(pager.NewMemStore(pager.DefaultPageSize),
+		core.DualBPlusConfig{Terrain: p.Terrain, C: 4, Codec: bptree.Wide})
+	if err != nil {
+		return err
+	}
+	if err := sim.Bootstrap(func(op workload.Op) error {
+		if op.Insert {
+			return ix.Insert(op.Motion)
+		}
+		return ix.Delete(op.Motion)
+	}); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	routers := make([]*shard.Router, 0, len(shardCounts))
+	defer func() {
+		for _, r := range routers {
+			//mobidxlint:allow errdrop -- differential cleanup; the check's verdict is already decided
+			_ = r.Close()
+		}
+	}()
+	for _, s := range shardCounts {
+		r, err := shard.NewCluster(shard.Config{Terrain: p.Terrain, C: 4, Codec: bptree.Wide},
+			s, core.NewExecutor(s), shard.Policy{}, nil)
+		if err != nil {
+			return err
+		}
+		routers = append(routers, r)
+		if err := r.BulkLoad(ctx, sim.Motions()); err != nil {
+			return fmt.Errorf("shards=%d: load: %w", s, err)
+		}
+	}
+	seq := core.NewExecutor(1)
+	for _, mix := range []workload.QueryMix{workload.SmallQueries(), workload.LargeQueries()} {
+		for _, q := range sim.Queries(mix)[:50] {
+			ref, err := ix.QueryParallel(seq, q)
+			if err != nil {
+				return err
+			}
+			want := sim.BruteForce(q)
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(ref) != len(want) {
+				return fmt.Errorf("mix %s: oracle answer has %d OIDs, brute force %d",
+					mix.Name, len(ref), len(want))
+			}
+			for i, r := range routers {
+				got, err := r.Query(ctx, q)
+				if err != nil {
+					return fmt.Errorf("shards=%d: %w", shardCounts[i], err)
+				}
+				if len(got) != len(ref) {
+					return fmt.Errorf("mix %s shards=%d: routed answer has %d OIDs, oracle %d",
+						mix.Name, shardCounts[i], len(got), len(ref))
+				}
+				for k := range ref {
+					if got[k] != ref[k] {
+						return fmt.Errorf("mix %s shards=%d: routed answer diverges from oracle at %d",
+							mix.Name, shardCounts[i], k)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunShardBench builds a shard.Router cluster (compact codec, default
+// page size), bulk-loads the §5 bootstrap population, then serves
+// cfg.Queries MOR queries from cfg.Workers goroutines through the router.
+// With Chaos, a storm goroutine sweeps transient read-fault bursts across
+// the shards for the duration; partial answers count as served (that is
+// the degradation contract), any other error aborts the run.
+func RunShardBench(cfg ShardBenchConfig) (*ShardBenchResult, error) {
+	cfg.fill()
+
+	pol := shard.Policy{}
+	if cfg.Chaos {
+		pol = shard.Policy{
+			ShardTimeout: 250 * time.Millisecond,
+			MaxAttempts:  4,
+			Backoff:      pager.ExponentialBackoff(200*time.Microsecond, 2*time.Millisecond),
+			Jitter:       0.5,
+			Seed:         cfg.Seed,
+			BreakAfter:   8,
+			OpenFor:      10 * time.Millisecond,
+			AllowPartial: true,
+		}
+	}
+	p := workload.DefaultParams(cfg.N)
+	p.Seed = cfg.Seed
+	slows := make([]*slowStore, cfg.Shards)
+	faults := make([]*pager.FaultStore, cfg.Shards)
+	r, err := shard.NewCluster(
+		shard.Config{Terrain: p.Terrain, C: 4, Codec: bptree.Compact},
+		cfg.Shards, core.NewExecutor(cfg.Shards), pol,
+		func(id int) func(pager.Store) pager.Store {
+			return func(st pager.Store) pager.Store {
+				slows[id] = &slowStore{Store: st, delay: cfg.IOLatency}
+				faults[id] = pager.NewFaultStore(slows[id], pager.FaultConfig{Seed: cfg.Seed + int64(id)})
+				return faults[id]
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	sim, err := workload.NewSimulator(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Bootstrap(func(workload.Op) error { return nil }); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if err := r.BulkLoad(ctx, sim.Motions()); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	queries := sim.Queries(cfg.Mix)
+	for len(queries) < 2048 {
+		queries = append(queries, sim.Queries(cfg.Mix)...)
+	}
+	for _, s := range slows {
+		s.enabled.Store(true)
+	}
+
+	var (
+		next      atomic.Int64
+		errOnce   sync.Once
+		runErr    error
+		latencies = make([][]time.Duration, cfg.Workers)
+	)
+	var wg sync.WaitGroup
+	stopStorm := make(chan struct{})
+	if cfg.Chaos {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				victim := i % cfg.Shards
+				faults[victim].SetConfig(pager.FaultConfig{
+					Seed:      cfg.Seed + int64(victim),
+					Read:      pager.OpFaults{FailEvery: 6},
+					Transient: true,
+				})
+				select {
+				case <-stopStorm:
+					faults[victim].SetConfig(pager.FaultConfig{Seed: cfg.Seed + int64(victim)})
+					return
+				case <-time.After(cfg.BurstEvery):
+				}
+				faults[victim].SetConfig(pager.FaultConfig{Seed: cfg.Seed + int64(victim)})
+			}
+		}()
+	}
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, cfg.Queries/cfg.Workers+1)
+			for {
+				ticket := next.Add(1) - 1
+				if ticket >= int64(cfg.Queries) {
+					break
+				}
+				q := queries[ticket%int64(len(queries))]
+				t0 := time.Now()
+				_, err := r.Query(ctx, q)
+				lat = append(lat, time.Since(t0))
+				var pe *shard.PartialError
+				if err != nil && !errors.As(err, &pe) {
+					errOnce.Do(func() { runErr = fmt.Errorf("query %d: %w", ticket, err) })
+					break
+				}
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	// Wait for the serving workers, then stop the storm.
+	done := make(chan struct{})
+	go func() {
+		for next.Load() < int64(cfg.Queries) && runErr == nil {
+			time.Sleep(time.Millisecond)
+		}
+		close(stopStorm)
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))].Nanoseconds()) / 1e3
+	}
+	st := r.Stats()
+	return &ShardBenchResult{
+		Shards:       cfg.Shards,
+		Workers:      cfg.Workers,
+		Queries:      len(all),
+		Chaos:        cfg.Chaos,
+		QPS:          float64(len(all)) / elapsed.Seconds(),
+		P50us:        pct(0.50),
+		P99us:        pct(0.99),
+		Retries:      st.Retries,
+		Partial:      st.Partial,
+		BreakerSkips: st.BreakerSkips,
+		FailedCalls:  st.FailedShards,
+	}, nil
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"testing"
+
+	"mobidx/internal/leakcheck"
+	"mobidx/internal/workload"
+)
+
+// TestRunShardBench exercises the sharded serving loop end to end at a
+// small scale: all queries served at each shard count, sane percentile
+// ordering, clean runs with zero failure-policy traffic. Scaling claims
+// live in the benchmark gate, not here.
+func TestRunShardBench(t *testing.T) {
+	leakcheck.Check(t)
+	for _, shards := range []int{1, 4} {
+		res, err := RunShardBench(ShardBenchConfig{
+			N:       3000,
+			Shards:  shards,
+			Workers: 4,
+			Queries: 400,
+			Mix:     workload.SmallQueries(),
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Queries != 400 {
+			t.Fatalf("shards=%d: served %d queries, want 400", shards, res.Queries)
+		}
+		if res.QPS <= 0 || res.P50us <= 0 || res.P50us > res.P99us {
+			t.Fatalf("shards=%d: implausible timings %+v", shards, res)
+		}
+		if res.Retries != 0 || res.Partial != 0 || res.FailedCalls != 0 {
+			t.Fatalf("shards=%d: clean run reported failure traffic: %+v", shards, res)
+		}
+	}
+}
+
+// TestRunShardBenchChaos: the rolling storm run must finish all queries
+// with the retry budget visibly engaged and every degraded answer
+// accounted as a typed partial, not an error.
+func TestRunShardBenchChaos(t *testing.T) {
+	leakcheck.Check(t)
+	res, err := RunShardBench(ShardBenchConfig{
+		N:       3000,
+		Shards:  4,
+		Workers: 4,
+		Queries: 600,
+		Chaos:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 600 {
+		t.Fatalf("served %d queries, want 600", res.Queries)
+	}
+	if !res.Chaos {
+		t.Fatal("chaos flag not echoed")
+	}
+	if res.Retries == 0 && res.Partial == 0 && res.FailedCalls == 0 {
+		t.Fatalf("storm left no trace in the stats: %+v", res)
+	}
+}
+
+// TestCheckShardDifferential runs the bench-scale contract check itself.
+func TestCheckShardDifferential(t *testing.T) {
+	if err := CheckShardDifferential(2000, 1999, []int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+}

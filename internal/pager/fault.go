@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Storage fault taxonomy. Every failure a Store can produce falls into one
@@ -88,6 +89,13 @@ type FaultConfig struct {
 	// Transient marks injected errors retryable (see RetryStore). Torn
 	// writes and bit flips are never transient: retrying cannot undo them.
 	Transient bool
+	// Stall turns injected read faults into stragglers instead of errors:
+	// the read sleeps this long and then succeeds. A stalled shard is the
+	// third failure mode a serving layer must survive (after fail-fast and
+	// fail-silent) — it holds resources while producing nothing, which is
+	// what hedged reads exist to cut short. Zero disables stalling; when
+	// set, it takes precedence over BitFlips for read faults.
+	Stall time.Duration
 	// MaxFaults caps the total number of injected faults; zero means
 	// unlimited. Once spent, the store behaves like its underlying store —
 	// the workload reaches quiescence.
@@ -100,6 +108,7 @@ type FaultCounters struct {
 	ReadFaults, WriteFaults, AllocFaults int64 // faults injected
 	FreeFaults                           int64
 	TornWrites, BitFlips                 int64 // silent corruptions among the above
+	Stalls                               int64 // read faults converted to stragglers
 }
 
 // Total returns the total number of injected faults.
@@ -135,6 +144,36 @@ func (f *FaultStore) Counters() FaultCounters {
 	return f.ctr
 }
 
+// SetConfig replaces the fault schedule atomically. It is safe to call
+// while other goroutines are mid-operation on the store — the chaos
+// harness flips schedules under live traffic (a healthy shard suddenly
+// starts failing, a storm passes) — and the new schedule applies to every
+// operation that enters after the call. Operation and fault counters keep
+// running across the change; the random generator is NOT reseeded, so a
+// run remains deterministic as a whole: same seed, same operation
+// sequence, same SetConfig points → same faults.
+func (f *FaultStore) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg = cfg
+}
+
+// UpdateConfig applies fn to the current schedule under the store's lock,
+// for read-modify-write changes (e.g. raising MaxFaults mid-storm)
+// without racing a concurrent SetConfig.
+func (f *FaultStore) UpdateConfig(fn func(*FaultConfig)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(&f.cfg)
+}
+
+// Config returns the schedule currently in force.
+func (f *FaultStore) Config() FaultConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
+
 // budgetLeft reports whether another fault may be injected (caller holds mu).
 func (f *FaultStore) budgetLeft() bool {
 	return f.cfg.MaxFaults == 0 || f.ctr.Total() < f.cfg.MaxFaults
@@ -157,30 +196,44 @@ func (f *FaultStore) Allocate() (*Page, error) {
 	return f.under.Allocate()
 }
 
-// Read implements Store, optionally flipping a bit of the result.
+// Read implements Store, optionally stalling or flipping a bit of the
+// result. Every configuration field is captured while the lock is held —
+// SetConfig may swap the schedule between the decision and the read.
 func (f *FaultStore) Read(id PageID) (*Page, error) {
 	f.mu.Lock()
 	f.ctr.Reads++
 	fault := f.budgetLeft() && f.cfg.Read.fires(f.ctr.Reads, f.rng)
-	var flipBit int
+	var (
+		flip  bool
+		bit   int
+		stall time.Duration
+	)
 	if fault {
 		f.ctr.ReadFaults++
-		if f.cfg.BitFlips {
+		switch {
+		case f.cfg.Stall > 0:
+			f.ctr.Stalls++
+			stall = f.cfg.Stall
+		case f.cfg.BitFlips:
 			f.ctr.BitFlips++
-			flipBit = f.rng.Intn(8 * f.under.PageSize())
-		} else {
+			flip = true
+			bit = f.rng.Intn(8 * f.under.PageSize())
+		default:
 			err := &InjectedError{Op: "read", Page: id, N: f.ctr.Total(), Transient: f.cfg.Transient}
 			f.mu.Unlock()
 			return nil, err
 		}
 	}
 	f.mu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
 	p, err := f.under.Read(id)
 	if err != nil {
 		return nil, err
 	}
-	if fault && f.cfg.BitFlips {
-		p.Data[flipBit/8] ^= 1 << (flipBit % 8)
+	if flip {
+		p.Data[bit/8] ^= 1 << (bit % 8)
 	}
 	return p, nil
 }
@@ -245,6 +298,35 @@ func (f *FaultStore) PagesInUse() int { return f.under.PagesInUse() }
 func (f *FaultStore) Sync() error {
 	if s, ok := f.under.(Syncer); ok {
 		return s.Sync()
+	}
+	return nil
+}
+
+// Begin forwards Batcher so batched mutations keep their atomicity when a
+// FaultStore sits between an index and a WALStore (the serving-path fault
+// position: injected faults hit the index's reads and writes while the
+// batch protocol underneath stays intact). Batch control operations are
+// never faulted — injection models data-path failures, and a faulted
+// Begin would make every composed workload die before doing anything.
+func (f *FaultStore) Begin() error {
+	if b, ok := f.under.(Batcher); ok {
+		return b.Begin()
+	}
+	return nil
+}
+
+// Commit forwards Batcher.
+func (f *FaultStore) Commit() error {
+	if b, ok := f.under.(Batcher); ok {
+		return b.Commit()
+	}
+	return nil
+}
+
+// Rollback forwards Batcher.
+func (f *FaultStore) Rollback() error {
+	if b, ok := f.under.(Batcher); ok {
+		return b.Rollback()
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+// Package shard is the fault-isolated sharded serving layer: the object
+// space is partitioned into contiguous spatial bands, each band owned by a
+// Shard wrapping its own write-ahead-logged store and Dual-B+ index, and a
+// Router fans MOR queries to the shards whose bands overlap the query,
+// merging with the same sort+dedup contract core.Executor guarantees — a
+// no-fault routed query is byte-identical to the same query against a
+// single unsharded index.
+//
+// The layer's reason to exist is what happens when a shard is NOT fine.
+// The router wraps every shard interaction in a failure policy: per-shard
+// deadlines (context cancellation), bounded retry with exponential backoff
+// and seeded jitter (the RetryStore discipline lifted from page operations
+// to shard subqueries), optional hedged reads against stragglers, and a
+// per-shard circuit breaker fed by Health() and error outcomes. When a
+// shard exhausts its retry budget the query degrades instead of dying: the
+// router returns the merged results of the healthy shards together with a
+// typed *PartialError naming the missing partitions.
+package shard
+
+import (
+	"fmt"
+
+	"mobidx/internal/dual"
+)
+
+// assignSlack widens band boundaries when routing motions and queries.
+// Matches() admits candidates within geom.Eps of the query edges, so a
+// motion sitting exactly on a band boundary could have its epsilon-wide
+// witness fall one band below its assignment; a slack much larger than
+// the predicate tolerance (and much smaller than any band) makes the
+// boundary case route to both sides. Over-inclusion is free — shard
+// answers are exact and the merge deduplicates — while under-inclusion
+// would drop an object from the answer.
+const assignSlack = 1e-6
+
+// Partitioner deterministically splits the terrain [0, YMax] into n
+// contiguous bands of equal height. Band i owns [i·H, (i+1)·H), H =
+// YMax/n; the top band also owns y = YMax. It is pure arithmetic — every
+// router replica computes the same assignment, which is what makes the
+// sharding contract testable against a single-index oracle.
+type Partitioner struct {
+	yMax float64
+	n    int
+	h    float64
+}
+
+// NewPartitioner builds a partitioner over [0, yMax] with n bands.
+func NewPartitioner(yMax float64, n int) (*Partitioner, error) {
+	if yMax <= 0 {
+		return nil, fmt.Errorf("shard: partitioner needs yMax > 0, got %v", yMax)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: partitioner needs >= 1 band, got %d", n)
+	}
+	return &Partitioner{yMax: yMax, n: n, h: yMax / float64(n)}, nil
+}
+
+// N returns the number of bands.
+func (p *Partitioner) N() int { return p.n }
+
+// BandHeight returns H = YMax/n.
+func (p *Partitioner) BandHeight() float64 { return p.h }
+
+// band returns the band owning position y, clamped into [0, n).
+func (p *Partitioner) band(y float64) int {
+	i := int(y / p.h)
+	if i < 0 {
+		return 0
+	}
+	if i >= p.n {
+		return p.n - 1
+	}
+	return i
+}
+
+// Overlapping returns the bands a query must be fanned to: every band
+// intersecting [Y1, Y2], widened by the routing slack. The slice is
+// ascending and non-empty for any well-formed query.
+func (p *Partitioner) Overlapping(q dual.MORQuery) []int {
+	lo := p.band(q.Y1 - assignSlack)
+	hi := p.band(q.Y2 + assignSlack)
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Assign returns the bands that must hold motion m: every band its
+// trajectory touches from its update position until it reaches a terrain
+// border, where the model forces a fresh update (§2). A MOR query's
+// matching witness extrapolates the current motion linearly, so any
+// position the object can be queried at lies between Y0 and the border it
+// is heading for — replicating the motion across exactly those bands is
+// what makes the union of per-shard answers equal the unsharded answer.
+// The slice is ascending; replication averages (n+1)/2 bands, the honest
+// price of trajectories that run border-to-border.
+func (p *Partitioner) Assign(m dual.Motion) []int {
+	var lo, hi int
+	if m.V >= 0 {
+		lo, hi = p.band(m.Y0-assignSlack), p.n-1
+	} else {
+		lo, hi = 0, p.band(m.Y0+assignSlack)
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

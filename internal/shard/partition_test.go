@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"testing"
+
+	"mobidx/internal/dual"
+)
+
+func TestPartitionerValidation(t *testing.T) {
+	if _, err := NewPartitioner(0, 4); err == nil {
+		t.Fatal("yMax=0 accepted")
+	}
+	if _, err := NewPartitioner(1000, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	p, err := NewPartitioner(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 4 || p.BandHeight() != 250 {
+		t.Fatalf("N=%d H=%v, want 4/250", p.N(), p.BandHeight())
+	}
+}
+
+func TestPartitionerOverlapping(t *testing.T) {
+	p, _ := NewPartitioner(1000, 4) // bands [0,250) [250,500) [500,750) [750,1000]
+	cases := []struct {
+		q    dual.MORQuery
+		want []int
+	}{
+		{dual.MORQuery{Y1: 10, Y2: 20}, []int{0}},
+		{dual.MORQuery{Y1: 10, Y2: 260}, []int{0, 1}},
+		{dual.MORQuery{Y1: 0, Y2: 1000}, []int{0, 1, 2, 3}},
+		// Edges sitting exactly on a boundary must route to both sides:
+		// a witness within geom.Eps of the edge may live in either band.
+		{dual.MORQuery{Y1: 250, Y2: 250}, []int{0, 1}},
+		{dual.MORQuery{Y1: 999, Y2: 1000}, []int{3}},
+		// Out-of-terrain edges clamp rather than panic.
+		{dual.MORQuery{Y1: -5, Y2: 1500}, []int{0, 1, 2, 3}},
+	}
+	for _, c := range cases {
+		got := p.Overlapping(c.q)
+		if !equalInts(got, c.want) {
+			t.Errorf("Overlapping(%+v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPartitionerAssign(t *testing.T) {
+	p, _ := NewPartitioner(1000, 4)
+	cases := []struct {
+		m    dual.Motion
+		want []int
+	}{
+		// Moving up from band 1: touches bands 1..3 before the top border
+		// forces an update.
+		{dual.Motion{Y0: 300, V: 1}, []int{1, 2, 3}},
+		// Moving down from band 2: touches 0..2.
+		{dual.Motion{Y0: 600, V: -1}, []int{0, 1, 2}},
+		// Stationary: only its own band upward (over-inclusion is free).
+		{dual.Motion{Y0: 10, V: 0}, []int{0, 1, 2, 3}},
+		// Exactly on a boundary, moving up: the epsilon-wide witness may
+		// fall just below, so the band underneath is included too.
+		{dual.Motion{Y0: 500, V: 0.5}, []int{1, 2, 3}},
+		// Exactly on a boundary, moving down: band above included.
+		{dual.Motion{Y0: 500, V: -0.5}, []int{0, 1, 2}},
+	}
+	for _, c := range cases {
+		got := p.Assign(c.m)
+		if !equalInts(got, c.want) {
+			t.Errorf("Assign(%+v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+// TestPartitionerCoversEveryWitness is the routing soundness property the
+// sharding contract rests on: for any motion and any future query the
+// motion matches, at least one band holding the motion overlaps the
+// query. A violation would silently drop an object from a routed answer.
+func TestPartitionerCoversEveryWitness(t *testing.T) {
+	p, _ := NewPartitioner(1000, 8)
+	ms := make([]dual.Motion, 0, 512)
+	for i := 0; i < 256; i++ {
+		v := 0.16 + 0.19*float64(i%8)
+		if i%2 == 1 {
+			v = -v
+		}
+		ms = append(ms,
+			dual.Motion{OID: dual.OID(i), Y0: float64((i * 137) % 1000), T0: 0, V: v},
+			// Boundary-sitting motions: the adversarial placement.
+			dual.Motion{OID: dual.OID(256 + i), Y0: float64((i % 9) * 125), T0: 0, V: v},
+		)
+	}
+	var qs []dual.MORQuery
+	for i := 0; i < 200; i++ {
+		y1 := float64((i * 61) % 950)
+		w := float64(1 + (i*17)%150)
+		if y1+w > 1000 {
+			w = 1000 - y1
+		}
+		t1 := float64(i % 50)
+		qs = append(qs, dual.MORQuery{Y1: y1, Y2: y1 + w, T1: t1, T2: t1 + float64(i%60)})
+	}
+	for _, m := range ms {
+		bands := p.Assign(m)
+		inBand := make(map[int]bool, len(bands))
+		for _, b := range bands {
+			inBand[b] = true
+		}
+		for _, q := range qs {
+			if !m.Matches(q) {
+				continue
+			}
+			covered := false
+			for _, b := range p.Overlapping(q) {
+				if inBand[b] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("motion %+v matches %+v but no assigned band %v overlaps %v",
+					m, q, bands, p.Overlapping(q))
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,619 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+// Policy is the router's per-shard failure policy. The zero value fans
+// out with no deadline, no retry, no hedging, and an effectively disabled
+// breaker, and fails the whole query on any shard error — the strictest
+// reading. Serving configurations opt into each mechanism explicitly.
+type Policy struct {
+	// ShardTimeout bounds each attempt against one shard; it becomes a
+	// context deadline, so the shard stops its in-flight pieces (see
+	// core.Executor.RunCtx). Zero means no per-attempt deadline — the
+	// caller's own context still applies.
+	ShardTimeout time.Duration
+	// MaxAttempts is the total tries per shard per query, first try
+	// included (0 selects 1: no retry). Only transient faults
+	// (pager.IsTransient) and attempt timeouts are retried; permanent
+	// errors propagate immediately, exactly as RetryStore does for page
+	// operations.
+	MaxAttempts int
+	// Backoff returns the sleep before retry number attempt (1-based);
+	// nil retries immediately. pager.ExponentialBackoff fits here.
+	Backoff func(attempt int) time.Duration
+	// Jitter spreads each backoff uniformly over [d·(1−J), d·(1+J)],
+	// clamped to [0, 1], so concurrent queries' retries decorrelate.
+	Jitter float64
+	// Seed makes the jitter (and hedge decision) sequence deterministic;
+	// zero selects a fixed default.
+	Seed int64
+	// HedgeAfter, when positive, launches a second identical attempt if
+	// the first has not returned within this delay, taking whichever
+	// finishes first. It cuts straggler latency (a stalled page read
+	// blocks one goroutine, not the query) at the cost of duplicate work.
+	// Zero disables hedging.
+	HedgeAfter time.Duration
+	// BreakAfter consecutive shard-level failures open the shard's
+	// circuit breaker (0 selects 4). While open, queries skip the shard
+	// immediately — no goroutine, no timeout wait — and degrade.
+	BreakAfter int
+	// OpenFor is how long an opened breaker rejects before letting one
+	// probe through (half-open); the probe's outcome closes or re-opens
+	// it. Zero selects 500ms.
+	OpenFor time.Duration
+	// AllowPartial turns graceful degradation on: when a shard is down
+	// past its retry budget (or skipped by its breaker), the query
+	// returns the merged results of the remaining shards together with a
+	// *PartialError naming the missing partitions, instead of failing.
+	// Off, any shard failure fails the query.
+	AllowPartial bool
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) breakAfter() int {
+	if p.BreakAfter <= 0 {
+		return 4
+	}
+	return p.BreakAfter
+}
+
+func (p Policy) openFor() time.Duration {
+	if p.OpenFor <= 0 {
+		return 500 * time.Millisecond
+	}
+	return p.OpenFor
+}
+
+// PartialError reports a degraded query: the answer is exact over the
+// partitions that served, and these are the ones that did not. It is
+// returned alongside the partial results; callers that can live with a
+// degraded answer detect it with errors.As, everyone else treats it as
+// the failure it also is.
+type PartialError struct {
+	// Missing lists the shard ids (bands) absent from the answer,
+	// ascending.
+	Missing []int
+	// Causes holds each missing shard's final error, parallel to Missing.
+	Causes []error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard: partial answer, %d partition(s) missing:", len(e.Missing))
+	for i, id := range e.Missing {
+		fmt.Fprintf(&b, " [%d: %v]", id, e.Causes[i])
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-shard causes to errors.Is/As chains.
+func (e *PartialError) Unwrap() []error { return e.Causes }
+
+// Stats counts the router's failure-policy traffic.
+type Stats struct {
+	Queries      int64 // Query calls
+	ShardCalls   int64 // first attempts against shards
+	Retries      int64 // extra attempts after retryable failures
+	Hedges       int64 // hedge attempts launched
+	HedgeWins    int64 // hedges that beat the primary
+	BreakerSkips int64 // shard calls skipped by an open breaker
+	BreakerOpens int64 // closed/half-open → open transitions
+	Partial      int64 // queries answered degraded
+	FailedShards int64 // shard calls that exhausted the retry budget
+}
+
+// breaker is one shard's circuit breaker: closed (normal), open
+// (rejecting), half-open (one probe in flight).
+type breaker struct {
+	mu        sync.Mutex
+	fails     int
+	state     int // 0 closed, 1 open, 2 half-open
+	openUntil time.Time
+}
+
+const (
+	brkClosed = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// allow reports whether a call may proceed, transitioning open→half-open
+// when the rejection window has passed (the caller becomes the probe).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkClosed:
+		return true
+	case brkOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = brkHalfOpen
+		return true
+	default: // half-open: one probe at a time
+		return false
+	}
+}
+
+// success records a served call; any state collapses back to closed.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state = brkClosed
+}
+
+// failure records a failed call; returns true when this transition opened
+// the breaker.
+func (b *breaker) failure(now time.Time, pol Policy) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == brkHalfOpen || b.fails >= pol.breakAfter() {
+		b.state = brkOpen
+		b.openUntil = now.Add(pol.openFor())
+		return true
+	}
+	return false
+}
+
+// Router owns a cluster of shards and serves MOR queries and motion
+// batches across them under the failure policy. It is safe for
+// concurrent use.
+type Router struct {
+	part   *Partitioner
+	shards []*Shard
+	exec   *core.Executor
+	policy Policy
+	brk    []*breaker
+	now    func() time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stQueries      atomic.Int64
+	stShardCalls   atomic.Int64
+	stRetries      atomic.Int64
+	stHedges       atomic.Int64
+	stHedgeWins    atomic.Int64
+	stBreakerSkips atomic.Int64
+	stBreakerOpens atomic.Int64
+	stPartial      atomic.Int64
+	stFailedShards atomic.Int64
+}
+
+// NewRouter assembles a router over the shards; shard i must own band i
+// of the partitioner. exec bounds the fan-out concurrency (nil selects a
+// GOMAXPROCS-bounded executor).
+func NewRouter(shards []*Shard, part *Partitioner, exec *core.Executor, policy Policy) (*Router, error) {
+	if part == nil {
+		return nil, errors.New("shard: router needs a partitioner")
+	}
+	if len(shards) != part.N() {
+		return nil, fmt.Errorf("shard: %d shards for %d bands", len(shards), part.N())
+	}
+	if exec == nil {
+		exec = core.NewExecutor(0)
+	}
+	if policy.Jitter < 0 {
+		policy.Jitter = 0
+	}
+	if policy.Jitter > 1 {
+		policy.Jitter = 1
+	}
+	seed := policy.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	brk := make([]*breaker, len(shards))
+	for i := range brk {
+		brk[i] = &breaker{}
+	}
+	return &Router{
+		part:   part,
+		shards: shards,
+		exec:   exec,
+		policy: policy,
+		brk:    brk,
+		now:    time.Now,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Partitioner returns the router's space partitioner.
+func (r *Router) Partitioner() *Partitioner { return r.part }
+
+// Shard returns shard i, for health inspection.
+func (r *Router) Shard(i int) *Shard { return r.shards[i] }
+
+// Stats returns a snapshot of the failure-policy counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Queries:      r.stQueries.Load(),
+		ShardCalls:   r.stShardCalls.Load(),
+		Retries:      r.stRetries.Load(),
+		Hedges:       r.stHedges.Load(),
+		HedgeWins:    r.stHedgeWins.Load(),
+		BreakerSkips: r.stBreakerSkips.Load(),
+		BreakerOpens: r.stBreakerOpens.Load(),
+		Partial:      r.stPartial.Load(),
+		FailedShards: r.stFailedShards.Load(),
+	}
+}
+
+// Query fans q to every shard whose band overlaps it, applies the
+// failure policy per shard, and merges the per-shard answers into one
+// sorted, deduplicated slice — byte-identical to the same query against
+// a single unsharded index when every shard serves. With AllowPartial,
+// shards down past their retry budget degrade the answer instead of
+// failing it: the results cover exactly the healthy partitions and the
+// returned error is a *PartialError naming the missing ones.
+func (r *Router) Query(ctx context.Context, q dual.MORQuery) ([]dual.OID, error) {
+	r.stQueries.Add(1)
+	targets := r.part.Overlapping(q)
+	buckets := make([][]dual.OID, len(targets))
+	failures := make([]error, len(targets))
+	tasks := make([]func() error, len(targets))
+	for ti, si := range targets {
+		ti, si := ti, si
+		tasks[ti] = func() error {
+			res, err := r.queryShard(ctx, si, q)
+			if err != nil {
+				if r.policy.AllowPartial && !isCallerCtxErr(ctx, err) {
+					failures[ti] = err
+					return nil
+				}
+				return err
+			}
+			buckets[ti] = res
+			return nil
+		}
+	}
+	if err := r.exec.RunCtx(ctx, tasks); err != nil {
+		return nil, err
+	}
+	merged := core.MergeOIDs(buckets)
+	var missing []int
+	var causes []error
+	for ti, err := range failures {
+		if err != nil {
+			missing = append(missing, targets[ti])
+			causes = append(causes, err)
+		}
+	}
+	if len(missing) > 0 {
+		r.stPartial.Add(1)
+		return merged, &PartialError{Missing: missing, Causes: causes}
+	}
+	return merged, nil
+}
+
+// isCallerCtxErr reports whether err is the caller's own context giving
+// up — that must fail the query, not degrade it (the caller is gone).
+func isCallerCtxErr(ctx context.Context, err error) bool {
+	return ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// retryable mirrors RetryStore's classification at the shard level:
+// transient storage faults and attempt timeouts may heal on retry;
+// everything else is permanent and propagates immediately.
+func retryable(err error) bool {
+	return pager.IsTransient(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// queryShard runs the full failure policy for one shard: breaker gate,
+// health gate, bounded retry with backoff+jitter, hedged attempts.
+func (r *Router) queryShard(ctx context.Context, si int, q dual.MORQuery) ([]dual.OID, error) {
+	b := r.brk[si]
+	if !b.allow(r.now()) {
+		r.stBreakerSkips.Add(1)
+		return nil, fmt.Errorf("shard %d: breaker open: %w", si, ErrShardDown)
+	}
+	s := r.shards[si]
+	r.stShardCalls.Add(1)
+	if h := s.Health(); !h.Healthy {
+		if b.failure(r.now(), r.policy) {
+			r.stBreakerOpens.Add(1)
+		}
+		r.stFailedShards.Add(1)
+		err := h.Err
+		if err == nil {
+			err = ErrShardDown
+		}
+		return nil, fmt.Errorf("shard %d unhealthy: %w", si, err)
+	}
+	var lastErr error
+	attempts := r.policy.maxAttempts()
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := r.attempt(ctx, s, q)
+		if err == nil {
+			b.success()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's context expired (the attempt error may be the
+			// shard echoing it); stop without charging the shard.
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		if !retryable(err) || attempt == attempts {
+			break
+		}
+		r.stRetries.Add(1)
+		if !r.sleepBackoff(ctx, attempt) {
+			return nil, ctx.Err()
+		}
+	}
+	if b.failure(r.now(), r.policy) {
+		r.stBreakerOpens.Add(1)
+	}
+	r.stFailedShards.Add(1)
+	return nil, fmt.Errorf("shard %d: retry budget exhausted: %w", si, lastErr)
+}
+
+// sleepBackoff sleeps the jittered backoff before the next attempt,
+// returning false if the context expired first.
+func (r *Router) sleepBackoff(ctx context.Context, attempt int) bool {
+	if r.policy.Backoff == nil {
+		return ctx.Err() == nil
+	}
+	d := r.policy.Backoff(attempt)
+	if d > 0 && r.policy.Jitter > 0 {
+		r.rngMu.Lock()
+		u := r.rng.Float64()
+		r.rngMu.Unlock()
+		d = time.Duration(float64(d) * (1 - r.policy.Jitter + 2*r.policy.Jitter*u))
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// attempt is one try against one shard, under the per-attempt deadline
+// and (when configured) a hedge: if the primary has not answered within
+// HedgeAfter, an identical second call races it and the first outcome
+// wins. The loser finishes on its own (its results are discarded through
+// a buffered channel) — with a per-operation stall schedule the hedge
+// almost never hits the same stalled page read, which is the point.
+func (r *Router) attempt(ctx context.Context, s *Shard, q dual.MORQuery) ([]dual.OID, error) {
+	actx := ctx
+	if r.policy.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, r.policy.ShardTimeout)
+		defer cancel()
+	}
+	if r.policy.HedgeAfter <= 0 {
+		return s.Query(actx, q)
+	}
+	type outcome struct {
+		res    []dual.OID
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	launch := func(hedged bool) {
+		go func() {
+			res, err := s.Query(actx, q)
+			ch <- outcome{res: res, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(r.policy.HedgeAfter)
+	defer timer.Stop()
+	pending := 1
+	hedged := false
+	var firstErr error
+	for pending > 0 {
+		var hedgeC <-chan time.Time
+		if !hedged {
+			hedgeC = timer.C
+		}
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				if o.hedged {
+					r.stHedgeWins.Add(1)
+				}
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		case <-hedgeC:
+			hedged = true
+			r.stHedges.Add(1)
+			launch(true)
+			pending++
+		}
+	}
+	return nil, firstErr
+}
+
+// Apply routes each op to every shard whose bands its motion touches and
+// applies the per-shard batches concurrently, each as one atomic WAL
+// batch. Writes do not degrade: a failed shard batch quarantines that
+// shard (see Shard.Apply) and Apply reports it in a *PartialError — the
+// surviving shards applied their batches, the named partitions did not,
+// and reads will degrade around them from now on.
+func (r *Router) Apply(ctx context.Context, ops []Op) error {
+	perShard := make([][]Op, len(r.shards))
+	for _, op := range ops {
+		for _, si := range r.part.Assign(op.M) {
+			perShard[si] = append(perShard[si], op)
+		}
+	}
+	failures := make([]error, len(r.shards))
+	var tasks []func() error
+	for si, batch := range perShard {
+		if len(batch) == 0 {
+			continue
+		}
+		si, batch := si, batch
+		tasks = append(tasks, func() error {
+			if err := r.shards[si].Apply(ctx, batch); err != nil {
+				if isCallerCtxErr(ctx, err) {
+					return err
+				}
+				failures[si] = err
+			}
+			return nil
+		})
+	}
+	if err := r.exec.RunCtx(ctx, tasks); err != nil {
+		return err
+	}
+	var missing []int
+	var causes []error
+	for si, err := range failures {
+		if err != nil {
+			missing = append(missing, si)
+			causes = append(causes, err)
+		}
+	}
+	if len(missing) > 0 {
+		return &PartialError{Missing: missing, Causes: causes}
+	}
+	return nil
+}
+
+// BulkLoad splits ms by band assignment and bulk-loads every shard
+// concurrently, each as one atomic batch. Any failure is returned as a
+// *PartialError (failed shards are quarantined).
+func (r *Router) BulkLoad(ctx context.Context, ms []dual.Motion) error {
+	perShard := make([][]dual.Motion, len(r.shards))
+	for _, m := range ms {
+		for _, si := range r.part.Assign(m) {
+			perShard[si] = append(perShard[si], m)
+		}
+	}
+	failures := make([]error, len(r.shards))
+	tasks := make([]func() error, len(r.shards))
+	for si := range r.shards {
+		si := si
+		tasks[si] = func() error {
+			if err := r.shards[si].BulkLoad(ctx, perShard[si]); err != nil {
+				if isCallerCtxErr(ctx, err) {
+					return err
+				}
+				failures[si] = err
+			}
+			return nil
+		}
+	}
+	if err := r.exec.RunCtx(ctx, tasks); err != nil {
+		return err
+	}
+	var missing []int
+	var causes []error
+	for si, err := range failures {
+		if err != nil {
+			missing = append(missing, si)
+			causes = append(causes, err)
+		}
+	}
+	if len(missing) > 0 {
+		return &PartialError{Missing: missing, Causes: causes}
+	}
+	return nil
+}
+
+// Degraded reports which shards are currently not serving (unhealthy or
+// breaker-open), for operational visibility.
+func (r *Router) Degraded() []int {
+	now := r.now()
+	var out []int
+	for i, s := range r.shards {
+		b := r.brk[i]
+		b.mu.Lock()
+		open := b.state == brkOpen && now.Before(b.openUntil)
+		b.mu.Unlock()
+		if open || !s.Health().Healthy {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Close shuts every shard down.
+func (r *Router) Close() error {
+	var errs []error
+	for _, s := range r.shards {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// NewCluster builds n shards from the config template (tmpl.ID and
+// tmpl.WrapStore are overwritten per shard) plus the matching partitioner
+// and router — the one-call constructor serving code and tests use. wrap,
+// when non-nil, is called with each shard's id to produce that shard's
+// store wrapper (return nil to leave a shard unwrapped), which is how the
+// chaos harness gets a fault injector under exactly the shards it wants
+// to hurt.
+func NewCluster(tmpl Config, n int, exec *core.Executor, policy Policy, wrap func(id int) func(pager.Store) pager.Store) (*Router, error) {
+	part, err := NewPartitioner(tmpl.Terrain.YMax, n)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*Shard, n)
+	for i := 0; i < n; i++ {
+		cfg := tmpl
+		cfg.ID = i
+		cfg.WrapStore = nil
+		if wrap != nil {
+			cfg.WrapStore = wrap(i)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			for _, prev := range shards[:i] {
+				err = errors.Join(err, prev.Close())
+			}
+			return nil, err
+		}
+		shards[i] = s
+	}
+	r, err := NewRouter(shards, part, exec, policy)
+	if err != nil {
+		for _, s := range shards {
+			err = errors.Join(err, s.Close())
+		}
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,280 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+// Op is one motion mutation: an insert of a new motion or a delete of a
+// previously inserted one (an object's update is a delete+insert pair, as
+// everywhere else in this repository).
+type Op struct {
+	Insert bool
+	M      dual.Motion
+}
+
+// Config configures one shard.
+type Config struct {
+	// ID is the shard's index in its cluster (its band number).
+	ID int
+	// Terrain is the full terrain — every shard indexes the same dual
+	// space; the partitioner decides which motions it holds.
+	Terrain dual.Terrain
+	// C is the Dual-B+ observation-index count (0 selects 4).
+	C int
+	// Codec selects the on-page record precision (zero value = Wide).
+	Codec bptree.Codec
+	// PageSize is the shard's page size (0 selects pager.DefaultPageSize).
+	// Chaos tests run small pages so tiny populations still span deep
+	// trees with real splits.
+	PageSize int
+	// WrapStore, when non-nil, wraps the shard's WAL-backed store before
+	// the index is built on top — the serving-path position, where the
+	// WAL stages writes and serves reads from its page table, so a
+	// wrapper below it would never see query traffic. It is the
+	// fault-isolation test hook: the chaos harness injects a FaultStore
+	// here, so one shard can fail, stall, or corrupt without the others
+	// noticing. Wrappers should forward Batcher (FaultStore does) so the
+	// shard's atomic write batches keep their semantics.
+	WrapStore func(pager.Store) pager.Store
+	// AutoCheckpointBytes bounds the shard's WAL (0 disables).
+	AutoCheckpointBytes int64
+}
+
+// Health is a shard's self-reported serving state.
+type Health struct {
+	// Healthy reports whether the shard accepts work. A shard turns
+	// unhealthy when closed or quarantined after a failed write batch.
+	Healthy bool
+	// Quarantined reports a failed Apply/BulkLoad: the WAL rolled the
+	// batch back so the durable state is the pre-batch image, but the
+	// in-memory index may have diverged from it, so the shard refuses
+	// further work until rebuilt.
+	Quarantined bool
+	// Failures counts consecutive failed operations (any kind); it resets
+	// on success. Context cancellations are the caller's doing and are
+	// not counted.
+	Failures int
+	// Err is the last failure observed (nil when none).
+	Err error
+}
+
+// ErrShardDown marks a shard that is not serving: closed, quarantined, or
+// skipped by an open circuit breaker. Typed so callers (and tests) can
+// tell "this partition was unavailable" from a query that failed.
+var ErrShardDown = errors.New("shard: shard down")
+
+// Shard is one partition's server: a Dual-B+ index over a write-ahead-
+// logged private store, behind a context-aware interface. Queries share a
+// read latch; Apply/BulkLoad take the write latch and run as one atomic
+// WAL batch — a failed batch leaves no durable trace and quarantines the
+// shard (see Health).
+type Shard struct {
+	id    int
+	wal   *pager.WALStore
+	store pager.Store // the index's store: the WAL, possibly wrapped (Config.WrapStore)
+	ix    *core.DualBPlus
+	exec  *core.Executor // single worker: sequential pieces, ctx-checked between them
+
+	mu sync.RWMutex // serving latch: Query RLock, Apply/BulkLoad Lock
+
+	stateMu     sync.Mutex
+	consecFails int
+	lastErr     error
+	quarantined bool
+	closed      bool
+}
+
+// New builds a shard with a fresh in-memory store and WAL.
+func New(cfg Config) (*Shard, error) {
+	pageSize := cfg.PageSize
+	if pageSize <= 0 {
+		pageSize = pager.DefaultPageSize
+	}
+	wal, err := pager.OpenWALStore(pager.NewMemStore(pageSize), pager.NewMemLog(),
+		pager.WALConfig{AutoCheckpointBytes: cfg.AutoCheckpointBytes})
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: open wal: %w", cfg.ID, err)
+	}
+	var store pager.Store = wal
+	if cfg.WrapStore != nil {
+		store = cfg.WrapStore(store)
+	}
+	ix, err := core.NewDualBPlus(store, core.DualBPlusConfig{
+		Terrain: cfg.Terrain, C: cfg.C, Codec: cfg.Codec,
+	})
+	if err != nil {
+		errs := errors.Join(err, wal.Close())
+		return nil, fmt.Errorf("shard %d: create index: %w", cfg.ID, errs)
+	}
+	return &Shard{id: cfg.ID, wal: wal, store: store, ix: ix, exec: core.NewExecutor(1)}, nil
+}
+
+// ID returns the shard's cluster index.
+func (s *Shard) ID() int { return s.id }
+
+// Len returns the number of motions the shard holds (replicas included).
+func (s *Shard) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Len()
+}
+
+// Health reports the shard's serving state.
+func (s *Shard) Health() Health {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return Health{
+		Healthy:     !s.closed && !s.quarantined,
+		Quarantined: s.quarantined,
+		Failures:    s.consecFails,
+		Err:         s.lastErr,
+	}
+}
+
+// observe feeds an operation outcome into the health state. Context
+// cancellations are the caller's deadline, not shard sickness, and do not
+// count as failures.
+func (s *Shard) observe(err error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	switch {
+	case err == nil:
+		s.consecFails = 0
+		s.lastErr = nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// leave the streak as it was
+	default:
+		s.consecFails++
+		s.lastErr = err
+	}
+}
+
+// down returns the typed unavailability error when the shard refuses work.
+func (s *Shard) down() error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	switch {
+	case s.closed:
+		return fmt.Errorf("shard %d closed: %w", s.id, ErrShardDown)
+	case s.quarantined:
+		return fmt.Errorf("shard %d quarantined after failed batch: %w", s.id, ErrShardDown)
+	}
+	return nil
+}
+
+// Query answers the MOR query from the shard's partition: sorted
+// ascending, deduplicated — the core.MergeOIDs contract, so per-shard
+// answers merge deterministically. The context is honored between query
+// pieces (see core.Executor.RunCtx): a router deadline stops the query at
+// piece granularity.
+func (s *Shard) Query(ctx context.Context, q dual.MORQuery) ([]dual.OID, error) {
+	if err := s.down(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	res, err := s.ix.QueryParallelCtx(ctx, s.exec, q)
+	s.mu.RUnlock()
+	s.observe(err)
+	return res, err
+}
+
+// Apply applies the ops as one atomic WAL batch under the write latch.
+// On error the batch is rolled back — the durable state is untouched —
+// and the shard quarantines itself: the in-memory index may have applied
+// a prefix, so it can no longer be trusted to mirror the store. The
+// router's circuit breaker and Health checks route around it from then
+// on. The context is checked between ops; a cancellation that arrives
+// before the first op rolls back cleanly without quarantining, one that
+// arrives mid-batch quarantines like any other failure (the in-memory
+// index already diverged from the rolled-back pages).
+func (s *Shard) Apply(ctx context.Context, ops []Op) error {
+	if err := s.down(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := 0
+	err := pager.RunBatch(s.store, func() error {
+		for _, op := range ops {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			var err error
+			if op.Insert {
+				err = s.ix.Insert(op.M)
+			} else {
+				err = s.ix.Delete(op.M)
+			}
+			if err != nil {
+				return err
+			}
+			applied++
+		}
+		return nil
+	})
+	// A pre-first-op cancellation left the in-memory index untouched;
+	// every other failure (including a first op that died mid-split) may
+	// have mutated it, so the shard can no longer be trusted.
+	ctxOnly := applied == 0 &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !ctxOnly {
+		s.quarantine(err)
+	}
+	s.observe(err)
+	return err
+}
+
+// BulkLoad atomically replaces the shard's contents with ms (one WAL
+// batch, bottom-up builders — see core.DualBPlus.BulkLoad). Like Apply, a
+// failure quarantines the shard.
+func (s *Shard) BulkLoad(ctx context.Context, ms []dual.Motion) error {
+	if err := s.down(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.ix.BulkLoad(ms)
+	if err != nil {
+		s.quarantine(err)
+	}
+	s.observe(err)
+	return err
+}
+
+func (s *Shard) quarantine(cause error) {
+	s.stateMu.Lock()
+	s.quarantined = true
+	s.lastErr = cause
+	s.stateMu.Unlock()
+}
+
+// Close shuts the shard down; further operations fail with ErrShardDown.
+func (s *Shard) Close() error {
+	s.stateMu.Lock()
+	if s.closed {
+		s.stateMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.stateMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Close()
+}

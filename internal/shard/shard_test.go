@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+func opsFor(ms []dual.Motion) []Op {
+	ops := make([]Op, len(ms))
+	for i, m := range ms {
+		ops[i] = Op{Insert: true, M: m}
+	}
+	return ops
+}
+
+func TestShardApplyQueryRoundtrip(t *testing.T) {
+	s, err := New(Config{Terrain: terrain1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ms := motions1D(64)
+	if err := s.Apply(context.Background(), opsFor(ms)); err != nil {
+		t.Fatal(err)
+	}
+	oracle := newOracle(t)
+	for _, m := range ms {
+		if err := oracle.Insert(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries1D {
+		got, err := s.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []dual.OID
+		if err := oracle.Query(q, func(id dual.OID) { want = append(want, id) }); err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(got) != fingerprint(want) {
+			t.Fatalf("query %+v: shard %q, oracle %q", q, fingerprint(got), fingerprint(want))
+		}
+	}
+	// An update is delete+insert; the shard applies both in one batch.
+	upd := []Op{{Insert: false, M: ms[3]}, {Insert: true, M: dual.Motion{OID: ms[3].OID, Y0: 5, T0: 50, V: 0.3}}}
+	if err := s.Apply(context.Background(), upd); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Health(); !h.Healthy || h.Failures != 0 {
+		t.Fatalf("healthy shard reports %+v", h)
+	}
+}
+
+func TestShardQuarantineOnFailedBatch(t *testing.T) {
+	var fs *pager.FaultStore
+	s, err := New(Config{Terrain: terrain1D, WrapStore: func(st pager.Store) pager.Store {
+		fs = pager.NewFaultStore(st, pager.FaultConfig{Seed: 5})
+		return fs
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Apply(context.Background(), opsFor(motions1D(32))); err != nil {
+		t.Fatal(err)
+	}
+	// Every write now fails: the next batch dies mid-flight and must
+	// quarantine the shard (the WAL rolled the pages back, but the
+	// in-memory index may hold a prefix of the batch).
+	fs.SetConfig(pager.FaultConfig{Seed: 5, Write: pager.OpFaults{FailEvery: 1}})
+	extra := motions1D(64)[32:]
+	if err := s.Apply(context.Background(), opsFor(extra)); err == nil {
+		t.Fatal("apply over failing writes succeeded")
+	}
+	h := s.Health()
+	if h.Healthy || !h.Quarantined || h.Err == nil {
+		t.Fatalf("after failed batch Health = %+v, want quarantined", h)
+	}
+	if _, err := s.Query(context.Background(), queries1D[0]); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("query on quarantined shard returned %v, want ErrShardDown", err)
+	}
+	if err := s.Apply(context.Background(), opsFor(extra[:1])); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("apply on quarantined shard returned %v, want ErrShardDown", err)
+	}
+}
+
+func TestShardPreCancelDoesNotQuarantine(t *testing.T) {
+	s, err := New(Config{Terrain: terrain1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Apply(ctx, opsFor(motions1D(8))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled apply returned %v", err)
+	}
+	if h := s.Health(); !h.Healthy || h.Failures != 0 {
+		t.Fatalf("pre-cancelled apply dirtied health: %+v", h)
+	}
+	if _, err := s.Query(ctx, queries1D[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled query returned %v", err)
+	}
+	// The shard still serves a live context.
+	if err := s.Apply(context.Background(), opsFor(motions1D(8))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(context.Background(), queries1D[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardTransientReadFaultSurfacesWithoutQuarantine(t *testing.T) {
+	var fs *pager.FaultStore
+	s, err := New(Config{Terrain: terrain1D, WrapStore: func(st pager.Store) pager.Store {
+		fs = pager.NewFaultStore(st, pager.FaultConfig{Seed: 11})
+		return fs
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Apply(context.Background(), opsFor(motions1D(64))); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := s.Query(context.Background(), queries1D[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetConfig(pager.FaultConfig{Seed: 11, Read: pager.OpFaults{FailEvery: 1}, Transient: true, MaxFaults: 1})
+	_, qerr := s.Query(context.Background(), queries1D[0])
+	if qerr == nil || !pager.IsTransient(qerr) {
+		t.Fatalf("faulted query returned %v, want transient", qerr)
+	}
+	h := s.Health()
+	if !h.Healthy || h.Quarantined {
+		t.Fatalf("read fault quarantined the shard: %+v", h)
+	}
+	if h.Failures != 1 {
+		t.Fatalf("failure streak = %d, want 1", h.Failures)
+	}
+	// Budget spent: the shard recovers and answers exactly as before.
+	got, err := s.Query(context.Background(), queries1D[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(got) != fingerprint(clean) {
+		t.Fatalf("post-fault answer diverged: %q vs %q", fingerprint(got), fingerprint(clean))
+	}
+	if h := s.Health(); h.Failures != 0 {
+		t.Fatalf("success did not reset the streak: %+v", h)
+	}
+}
+
+func TestShardClose(t *testing.T) {
+	s, err := New(Config{Terrain: terrain1D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := s.Query(context.Background(), queries1D[0]); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("query after close returned %v", err)
+	}
+}

@@ -30,10 +30,17 @@ go run ./cmd/mobidxlint ./...
 echo "== go test (shuffled) =="
 go test -shuffle=on ./...
 
-echo "== go test -race (storage + parallel query layers) =="
+echo "== go test -race (storage + parallel query + sharded serving layers) =="
 go test -race ./internal/pager/... ./internal/core/... ./internal/twod/... \
 	./internal/kdtree/... ./internal/kinetic/... ./internal/harness/... \
-	./internal/leakcheck/...
+	./internal/leakcheck/... ./internal/shard/...
+
+echo "== chaos sweep (topology x fault x policy, race-gated) =="
+# The sharded-serving chaos harness: every topology through every fault
+# scenario with deterministic seeds, asserting byte-identical no-fault
+# answers, exact healthy-union degraded answers with typed PartialErrors,
+# and zero goroutine leaks — all under the race detector.
+go test -race -count=1 -run 'TestChaos' ./internal/shard/chaostest
 
 echo "== stress matrix (GOMAXPROCS=1,4) =="
 # The concurrency tests must hold both when goroutines interleave on one
@@ -42,9 +49,10 @@ echo "== stress matrix (GOMAXPROCS=1,4) =="
 for procs in 1 4; do
 	echo "-- GOMAXPROCS=$procs --"
 	GOMAXPROCS=$procs go test -count=1 \
-		-run 'Concurrent|Parallel|Stress|Snapshot|StatsDuringBuild|Executor|Throughput' \
+		-run 'Concurrent|Parallel|Stress|Snapshot|StatsDuringBuild|Executor|Throughput|Router|ShardBench' \
 		./internal/pager ./internal/core ./internal/twod \
-		./internal/kdtree ./internal/kinetic ./internal/harness
+		./internal/kdtree ./internal/kinetic ./internal/harness \
+		./internal/shard ./internal/shard/chaostest
 done
 
 echo "== zero-allocation gates =="
