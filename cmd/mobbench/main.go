@@ -48,6 +48,13 @@ func main() {
 		shardIO     = flag.Duration("shardio", 150*time.Microsecond, "simulated disk latency per page read in -shard (0 = in-memory)")
 		shardOut    = flag.String("shardout", "BENCH_shard.json", "output file for the -shard report")
 
+		clusterBench  = flag.Bool("cluster", false, "run the durable-cluster lifecycle benchmark instead of the figures")
+		clusterCounts = flag.String("clustercounts", "1,2,4,8", "comma-separated shard counts for -cluster")
+		clusterWork   = flag.Int("clusterworkers", 0, "query-serving goroutines for -cluster (0 = GOMAXPROCS)")
+		clusterN      = flag.Int("clustern", 20000, "object count for -cluster")
+		clusterQ      = flag.Int("clusterqueries", 2000, "baseline queries per run in -cluster")
+		clusterOut    = flag.String("clusterout", "BENCH_cluster.json", "output file for the -cluster report")
+
 		build    = flag.Bool("build", false, "run the incremental-vs-bulk construction benchmark instead of the figures")
 		buildN   = flag.Int("buildn", 100000, "records per structure for -build")
 		buildOut = flag.String("buildout", "BENCH_build.json", "output file for the -build report")
@@ -57,6 +64,14 @@ func main() {
 	if *build {
 		if err := runBuild(*buildN, *buildOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mobbench: build: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterBench {
+		if err := runClusterBench(*clusterCounts, *clusterWork, *clusterN, *clusterQ, *clusterOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mobbench: cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -317,6 +332,55 @@ func runShardBench(countsCSV string, workers, n, queries int, ioLat time.Duratio
 	if rep.Differential != "ok" {
 		return fmt.Errorf("differential check failed: %s", rep.Differential)
 	}
+	return nil
+}
+
+// runClusterBench drives the durable cluster's lifecycle at each shard
+// count — load, serve, live split under load, crash, cold recovery,
+// checkpoint, warm recovery — and writes the machine-readable report
+// (cold-recovery time vs shard count, QPS dip during live migration) to
+// outPath. Every run's recovered answers are verified against the
+// simulator's brute force before its numbers are reported.
+func runClusterBench(countsCSV string, workers, n, queries int, outPath string) error {
+	counts, err := parseInts(countsCSV)
+	if err != nil {
+		return fmt.Errorf("bad -clustercounts: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("Cluster lifecycle benchmark: N=%d, %d baseline queries per run, %d serving goroutines, GOMAXPROCS=%d\n",
+		n, queries, workers, runtime.GOMAXPROCS(0))
+
+	type report struct {
+		N          int                           `json:"n"`
+		Queries    int                           `json:"queries_per_run"`
+		Workers    int                           `json:"workers"`
+		GOMAXPROCS int                           `json:"gomaxprocs"`
+		Runs       []*harness.ClusterBenchResult `json:"runs"`
+	}
+	rep := report{N: n, Queries: queries, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, s := range counts {
+		res, err := harness.RunClusterBench(harness.ClusterBenchConfig{
+			N: n, Shards: s, Workers: workers, Queries: queries,
+		})
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", s, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		fmt.Printf("  shards=%-2d  cold recovery %8.2fms   checkpointed %8.2fms   split %7.2fms   QPS dip %5.1f%% (%.0f → %.0f q/s)\n",
+			s, res.ColdRecoveryMs, res.CheckpointedRecoveryMs, res.SplitMs,
+			res.QPSDipPct, res.BaselineQPS, res.MigrationQPS)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
 	return nil
 }
 

@@ -1,0 +1,261 @@
+// Cluster lifecycle mode: RunClusterBench measures the operational costs
+// the durable cluster (shard.Cluster) adds on top of the serving layer —
+// what recovery and rebalancing actually cost, not just that they are
+// correct:
+//
+//   - cold recovery: wall-clock to OpenCluster from the surviving media
+//     of a crashed (abandoned, never Closed) cluster, WAL replay and all,
+//     as a function of shard count;
+//   - checkpointed recovery: the same reopen after Checkpoint folded the
+//     WALs into the base stores — the idle-maintenance payoff;
+//   - migration dip: serving QPS while a live Split carves the middle
+//     band in two, versus the undisturbed baseline at the same worker
+//     count. The flip's quiesce barrier is the only moment queries wait.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/shard"
+	"mobidx/internal/workload"
+)
+
+// ClusterBenchConfig tunes one durable-cluster lifecycle run.
+type ClusterBenchConfig struct {
+	N        int   // mobile objects (0 → 20000)
+	Shards   int   // initial bands (0 → 4)
+	Workers  int   // query-serving goroutines (0 → GOMAXPROCS)
+	Queries  int   // baseline queries to serve (0 → 2000)
+	Seed     int64 // scenario seed (0 → 1999)
+	PageSize int   // shard/manifest page size (0 → pager default)
+	Mix      workload.QueryMix
+}
+
+func (c *ClusterBenchConfig) fill() {
+	if c.N == 0 {
+		c.N = 20000
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1999
+	}
+	if c.Mix.PerSlot == 0 {
+		c.Mix = workload.SmallQueries()
+	}
+}
+
+// ClusterBenchResult reports one cluster lifecycle run.
+type ClusterBenchResult struct {
+	Shards       int     `json:"shards"`
+	N            int     `json:"n"`
+	LoadMs       float64 `json:"load_ms"`
+	BaselineQPS  float64 `json:"baseline_qps"`
+	SplitMs      float64 `json:"split_ms"`
+	MigrationQPS float64 `json:"migration_qps"` // served while the split ran
+	QPSDipPct    float64 `json:"qps_dip_pct"`   // 100·(1 − migration/baseline)
+	// ColdRecoveryMs is OpenCluster wall time from the surviving media of
+	// an abandoned (crashed) cluster: manifest decode + per-shard WAL
+	// replay + index reattach.
+	ColdRecoveryMs float64 `json:"cold_recovery_ms"`
+	// CheckpointedRecoveryMs is the same reopen after Checkpoint folded
+	// every WAL into its base store.
+	CheckpointedRecoveryMs float64 `json:"checkpointed_recovery_ms"`
+	BandsAfterSplit        int     `json:"bands_after_split"`
+	EpochAfterSplit        uint64  `json:"epoch_after_split"`
+}
+
+// RunClusterBench drives one durable cluster through load → serve →
+// live split (measuring the serving dip) → crash → cold recovery →
+// checkpoint → warm recovery, verifying recovered answers against the
+// simulator's brute force before reporting.
+func RunClusterBench(cfg ClusterBenchConfig) (*ClusterBenchResult, error) {
+	cfg.fill()
+	p := workload.DefaultParams(cfg.N)
+	p.Seed = cfg.Seed
+	sim, err := workload.NewSimulator(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Bootstrap(func(workload.Op) error { return nil }); err != nil {
+		return nil, err
+	}
+	env := shard.NewMemEnv(cfg.PageSize)
+	ccfg := shard.ClusterConfig{
+		Terrain:  p.Terrain,
+		PageSize: cfg.PageSize,
+		Exec:     core.NewExecutor(cfg.Workers),
+	}
+	ctx := context.Background()
+	c, err := shard.OpenCluster(env, ccfg, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterBenchResult{Shards: cfg.Shards, N: cfg.N}
+
+	t0 := time.Now()
+	if err := c.BulkLoad(ctx, sim.Motions()); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	res.LoadMs = msSince(t0)
+
+	queries := sim.Queries(cfg.Mix)
+	for len(queries) < 1024 {
+		queries = append(queries, sim.Queries(cfg.Mix)...)
+	}
+
+	// Baseline: undisturbed serving at the benched worker count.
+	baseDur, served, err := serveFor(ctx, c, queries, cfg.Workers, cfg.Queries)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	res.BaselineQPS = float64(served) / baseDur.Seconds()
+
+	// Live split under load: workers serve continuously while the middle
+	// band is carved in two; throughput inside the split window is the
+	// migration QPS.
+	var (
+		count  atomic.Int64
+		stop   atomic.Bool
+		srvErr atomic.Value
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; !stop.Load(); i += cfg.Workers {
+				if _, err := c.Query(ctx, queries[i%len(queries)]); err != nil {
+					srvErr.CompareAndSwap(nil, err)
+					return
+				}
+				count.Add(1)
+			}
+		}(w)
+	}
+	band := cfg.Shards / 2
+	lo := p.Terrain.YMax * float64(band) / float64(cfg.Shards)
+	hi := p.Terrain.YMax * float64(band+1) / float64(cfg.Shards)
+	time.Sleep(2 * time.Millisecond) // let serving reach steady state
+	before := count.Load()
+	t0 = time.Now()
+	splitErr := c.Split(ctx, band, (lo+hi)/2)
+	splitDur := time.Since(t0)
+	during := count.Load() - before
+	stop.Store(true)
+	wg.Wait()
+	if splitErr != nil {
+		return nil, fmt.Errorf("split: %w", splitErr)
+	}
+	if err, _ := srvErr.Load().(error); err != nil {
+		return nil, fmt.Errorf("serving during split: %w", err)
+	}
+	res.SplitMs = float64(splitDur.Nanoseconds()) / 1e6
+	res.MigrationQPS = float64(during) / splitDur.Seconds()
+	if res.BaselineQPS > 0 {
+		res.QPSDipPct = 100 * (1 - res.MigrationQPS/res.BaselineQPS)
+	}
+	res.BandsAfterSplit = c.Bands()
+	res.EpochAfterSplit = c.Epoch()
+
+	// Crash: abandon the cluster without Close; the env keeps the durable
+	// bytes. Cold recovery is the reopen.
+	t0 = time.Now()
+	c2, err := shard.OpenCluster(env, ccfg, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("cold recovery: %w", err)
+	}
+	res.ColdRecoveryMs = msSince(t0)
+	if err := checkClusterExact(ctx, c2, sim, queries[:20]); err != nil {
+		return nil, fmt.Errorf("recovered answers: %w", err)
+	}
+
+	// Checkpoint, clean close, and measure the warm reopen.
+	if err := c2.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := c2.Close(); err != nil {
+		return nil, fmt.Errorf("close: %w", err)
+	}
+	t0 = time.Now()
+	c3, err := shard.OpenCluster(env, ccfg, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("checkpointed recovery: %w", err)
+	}
+	res.CheckpointedRecoveryMs = msSince(t0)
+	if err := c3.Close(); err != nil {
+		return nil, fmt.Errorf("final close: %w", err)
+	}
+	return res, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// serveFor serves total queries from workers goroutines and returns the
+// wall time and count.
+func serveFor(ctx context.Context, c *shard.Cluster, queries []dual.MORQuery, workers, total int) (time.Duration, int, error) {
+	var (
+		next    atomic.Int64
+		srvErr  atomic.Value
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ticket := next.Add(1) - 1
+				if ticket >= int64(total) {
+					return
+				}
+				if _, err := c.Query(ctx, queries[ticket%int64(len(queries))]); err != nil {
+					srvErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := srvErr.Load().(error); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(started), total, nil
+}
+
+// checkClusterExact compares routed answers against the simulator's
+// brute force for a query sample — the recovered-state differential.
+func checkClusterExact(ctx context.Context, c *shard.Cluster, sim *workload.Simulator, qs []dual.MORQuery) error {
+	for i, q := range qs {
+		got, err := c.Query(ctx, q)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		want := sim.BruteForce(q)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			return fmt.Errorf("query %d: %d oids, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				return fmt.Errorf("query %d: oid %d = %d, want %d", i, k, got[k], want[k])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+func TestRunClusterBench(t *testing.T) {
+	res, err := RunClusterBench(ClusterBenchConfig{
+		N:       2000,
+		Shards:  2,
+		Workers: 4,
+		Queries: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BandsAfterSplit != 3 {
+		t.Errorf("bands after split = %d, want 3", res.BandsAfterSplit)
+	}
+	if res.EpochAfterSplit != 2 {
+		t.Errorf("epoch after split = %d, want 2", res.EpochAfterSplit)
+	}
+	if res.BaselineQPS <= 0 || res.MigrationQPS < 0 {
+		t.Errorf("implausible QPS: baseline %.1f migration %.1f", res.BaselineQPS, res.MigrationQPS)
+	}
+	if res.ColdRecoveryMs <= 0 || res.CheckpointedRecoveryMs <= 0 {
+		t.Errorf("implausible recovery times: cold %.3fms checkpointed %.3fms",
+			res.ColdRecoveryMs, res.CheckpointedRecoveryMs)
+	}
+	if res.LoadMs <= 0 || res.SplitMs <= 0 {
+		t.Errorf("implausible phase times: load %.3fms split %.3fms", res.LoadMs, res.SplitMs)
+	}
+}

@@ -96,6 +96,28 @@ func (ix *Index) BulkLoadSorted(es []bptree.Entry, fill float64) error {
 // Destroy releases all pages.
 func (ix *Index) Destroy() error { return ix.tree.Destroy() }
 
+// Meta returns the persistence metadata of the underlying B+-tree, valid
+// until the next mutating operation — enough, together with the codec and
+// duration bound the owner derives from its configuration, to reattach
+// the index after its store is reopened (see Attach).
+func (ix *Index) Meta() bptree.Meta { return ix.tree.Meta() }
+
+// Attach reattaches an index previously built in store from its Meta,
+// typically after crash recovery reopened the store. The codec and
+// maxDuration must match the values the index was created with (both are
+// derived from static configuration, not data, everywhere this package is
+// used).
+func Attach(store pager.Store, codec bptree.Codec, maxDuration float64, m bptree.Meta) (*Index, error) {
+	if maxDuration <= 0 {
+		return nil, fmt.Errorf("interval: maxDuration must be positive, got %v", maxDuration)
+	}
+	t, err := bptree.Attach(store, bptree.Config{Codec: codec}, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t, maxD: maxDuration}, nil
+}
+
 // ---------------------------------------------------------------------------
 // In-memory augmented interval tree (exactness oracle)
 // ---------------------------------------------------------------------------

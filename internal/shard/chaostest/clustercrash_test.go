@@ -1,0 +1,119 @@
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mobidx/internal/leakcheck"
+	"mobidx/internal/pager"
+	"mobidx/internal/pager/crashtest"
+	"mobidx/internal/shard"
+)
+
+// TestClusterCrashSweep kills a live band split at every write/sync
+// boundary, under every crash mode, across the topology grid, and
+// requires: one manifest-proven topology on reboot (never a mix),
+// byte-identical recovered answers, idempotent resume, and at least one
+// crash point recovering in each lifecycle state — the proof that the
+// sweep really covered the mid-load, pre-flip, post-flip and mid-retire
+// kill windows.
+func TestClusterCrashSweep(t *testing.T) {
+	modes := []crashtest.Mode{crashtest.KeepAll, crashtest.LoseUnsynced, crashtest.TearLast}
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, mode := range modes {
+			n, mode := n, mode
+			t.Run(fmt.Sprintf("s%d/%s", n, mode), func(t *testing.T) {
+				leakcheck.Check(t)
+				seen, err := RunClusterCrashSweep(n, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, state := range RecoveryStates {
+					if seen[state] == 0 {
+						t.Errorf("no crash point recovered in state %q (observed %v)", state, seen)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClusterSplitFaultResume drives a migration into injected storage
+// faults rather than a crash: the split receiver's store dies, Split
+// fails, and the manifest must still prove the prepared state — the old
+// topology keeps serving exactly, and once the storage heals
+// ResumeMigration completes the split exactly.
+func TestClusterSplitFaultResume(t *testing.T) {
+	leakcheck.Check(t)
+	ctx := context.Background()
+	ms := motions(96)
+	want := exactAnswers(ms)
+	env := shard.NewMemEnv(PageSize)
+
+	// The receiver of the first split gets store id 2 (stores 0 and 1 hold
+	// the initial bands). Its storage fails every write while `hurt` is
+	// set; WrapStore runs again on every reopen, so clearing the flag
+	// before the resume models the fault passing.
+	var hurt atomic.Bool
+	hurt.Store(true)
+	cfg := shard.ClusterConfig{
+		Terrain:  terrain,
+		PageSize: PageSize,
+		WrapStore: func(storeID int) func(pager.Store) pager.Store {
+			if storeID != 2 {
+				return nil
+			}
+			return func(st pager.Store) pager.Store {
+				fc := pager.FaultConfig{Seed: 3002}
+				if hurt.Load() {
+					fc.Write = pager.OpFaults{FailEvery: 1}
+				}
+				return pager.NewFaultStore(st, fc)
+			}
+		},
+	}
+	c, err := shard.OpenCluster(env, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.BulkLoad(ctx, ms); err != nil {
+		t.Fatal(err)
+	}
+	e0 := c.Epoch()
+
+	if err := c.Split(ctx, 1, 750); err == nil {
+		t.Fatal("split over dead receiver storage succeeded")
+	}
+	mig, pending := c.PendingMigration()
+	if !pending || mig.Flipped || mig.Band != 1 || mig.Cut != 750 {
+		t.Fatalf("after failed split: migration %+v (pending %v), want prepared band 1 cut 750", mig, pending)
+	}
+	if c.Epoch() != e0 || c.Bands() != 2 {
+		t.Fatalf("failed split moved topology: epoch %d bands %d, want epoch %d bands 2", c.Epoch(), c.Bands(), e0)
+	}
+	if err := checkExact(ctx, c, want, "old topology after failed split"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Split must refuse while the wounded migration is pending.
+	if err := c.Split(ctx, 0, 250); err == nil {
+		t.Fatal("second split started over a pending migration")
+	}
+
+	hurt.Store(false)
+	if err := c.ResumeMigration(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != e0+1 || c.Bands() != 3 {
+		t.Fatalf("after resume: epoch %d bands %d, want epoch %d bands 3", c.Epoch(), c.Bands(), e0+1)
+	}
+	if _, pending := c.PendingMigration(); pending {
+		t.Fatal("migration still pending after resume")
+	}
+	if err := checkExact(ctx, c, want, "after healed resume"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,412 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+// Shard durability has two durable records, both updated inside the same
+// WAL batch as the index mutation they describe:
+//
+//   - the superblock (a page chain, magic "MOBIDXSB"): the serialized
+//     core.DualMeta — tree roots, heights, sizes per rotation generation —
+//     plus the page id of the motion catalog head. Open reads it and
+//     reattaches the index with core.AttachDualBPlus.
+//
+//   - the motion catalog (a linked list of record pages starting at the
+//     head the superblock names): an append-only log of insert/delete
+//     motion records. The dual transform is not invertible in a way that
+//     preserves residence intervals and rotation epochs, so the original
+//     (OID, Y0, T0, V) tuples cannot be recovered from the trees; the
+//     catalog is the exact source for split/migrate enumeration and for
+//     rebuilding a peer's replicated bands. It compacts itself when
+//     tombstoned records outnumber live ones.
+
+const (
+	sbMagic  = "MOBIDXSB"
+	catMagic = "MOBIDXCA"
+
+	sbVersion = 1
+
+	// catRecLen is op(1) + oid(8) + y0/t0/v(3×8).
+	catRecLen = 33
+
+	// catHeaderLen is next(4) + used(4); a trailing CRC closes the page.
+	catHeaderLen = 8
+
+	catOpInsert = 1
+	catOpDelete = 2
+)
+
+func catCap(pageSize int) int {
+	n := (pageSize - catHeaderLen - 4) / catRecLen
+	return n * catRecLen
+}
+
+// ---------------------------------------------------------------------------
+// Superblock codec
+// ---------------------------------------------------------------------------
+
+type superblock struct {
+	catHead pager.PageID
+	meta    core.DualMeta
+}
+
+func encodeSuperblock(sb superblock) []byte {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	tree := func(m bptree.Meta) {
+		u32(uint32(m.Root))
+		u32(uint32(m.Height))
+		u64(uint64(m.Size))
+	}
+	u32(sbVersion)
+	u32(uint32(sb.catHead))
+	u32(uint32(len(sb.meta.Gens)))
+	for _, g := range sb.meta.Gens {
+		u64(uint64(g.Epoch))
+		u64(uint64(g.Size))
+		u32(uint32(len(g.Pos)))
+		for i := range g.Pos {
+			tree(g.Pos[i])
+			tree(g.Neg[i])
+			tree(g.Sub[i])
+		}
+	}
+	return buf
+}
+
+func decodeSuperblock(buf []byte) (superblock, error) {
+	var sb superblock
+	corrupt := func(what string) (superblock, error) {
+		return superblock{}, fmt.Errorf("shard: superblock: %s: %w", what, pager.ErrPageCorrupt)
+	}
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, true
+	}
+	tree := func() (bptree.Meta, bool) {
+		r, ok1 := u32()
+		h, ok2 := u32()
+		n, ok3 := u64()
+		return bptree.Meta{Root: pager.PageID(r), Height: int(h), Size: int(n)}, ok1 && ok2 && ok3
+	}
+	ver, ok := u32()
+	if !ok || ver != sbVersion {
+		return corrupt(fmt.Sprintf("version %d", ver))
+	}
+	head, ok := u32()
+	if !ok {
+		return corrupt("truncated catalog head")
+	}
+	sb.catHead = pager.PageID(head)
+	nGens, ok := u32()
+	if !ok || nGens > 1<<20 {
+		return corrupt("generation count")
+	}
+	for gi := uint32(0); gi < nGens; gi++ {
+		epoch, ok1 := u64()
+		size, ok2 := u64()
+		c, ok3 := u32()
+		if !ok1 || !ok2 || !ok3 || c == 0 || c > 1<<16 {
+			return corrupt(fmt.Sprintf("generation %d header", gi))
+		}
+		g := core.DualGenMeta{
+			Epoch: int64(epoch),
+			Size:  int(size),
+			Pos:   make([]bptree.Meta, 0, c),
+			Neg:   make([]bptree.Meta, 0, c),
+			Sub:   make([]bptree.Meta, 0, c),
+		}
+		for i := uint32(0); i < c; i++ {
+			p, ok1 := tree()
+			n, ok2 := tree()
+			s, ok3 := tree()
+			if !ok1 || !ok2 || !ok3 {
+				return corrupt(fmt.Sprintf("generation %d trees", gi))
+			}
+			g.Pos = append(g.Pos, p)
+			g.Neg = append(g.Neg, n)
+			g.Sub = append(g.Sub, s)
+		}
+		sb.meta.Gens = append(sb.meta.Gens, g)
+	}
+	if off != len(buf) {
+		return corrupt("trailing bytes")
+	}
+	return sb, nil
+}
+
+// ---------------------------------------------------------------------------
+// Motion catalog
+// ---------------------------------------------------------------------------
+
+// catalog is the shard's durable motion log. All mutating methods must run
+// inside the shard's open WAL batch; the in-memory cursor fields (pages,
+// tailUsed, counters) mirror the staged state and are only trusted after
+// the batch commits — a failed batch quarantines the owning shard, which
+// never touches the catalog again.
+type catalog struct {
+	store    pager.Store
+	head     pager.PageID
+	pages    []pager.PageID // full chain including head
+	tailUsed int            // bytes of records in the tail page
+	live     int            // records currently live (inserts minus deletes)
+	records  int            // total records in the log
+}
+
+// initCatalog allocates an empty catalog inside the caller's open batch.
+func initCatalog(store pager.Store) (*catalog, error) {
+	p, err := store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	c := &catalog{store: store, head: p.ID, pages: []pager.PageID{p.ID}}
+	if err := c.writePage(p.ID, pager.NilPage, nil); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// attachCatalog walks the chain from head, rebuilding the page list and
+// the live/total counters.
+func attachCatalog(store pager.Store, head pager.PageID) (*catalog, error) {
+	c := &catalog{store: store, head: head}
+	id := head
+	for hops := 0; ; hops++ {
+		if hops > 1<<22 {
+			return nil, fmt.Errorf("shard: catalog from %d: cycle: %w", head, pager.ErrPageCorrupt)
+		}
+		recs, next, err := c.readPage(id)
+		if err != nil {
+			return nil, err
+		}
+		c.pages = append(c.pages, id)
+		c.tailUsed = len(recs)
+		c.records += len(recs) / catRecLen
+		for off := 0; off < len(recs); off += catRecLen {
+			switch recs[off] {
+			case catOpInsert:
+				c.live++
+			case catOpDelete:
+				c.live--
+			default:
+				return nil, fmt.Errorf("shard: catalog page %d: bad op %d: %w",
+					id, recs[off], pager.ErrPageCorrupt)
+			}
+		}
+		if next == pager.NilPage {
+			return c, nil
+		}
+		id = next
+	}
+}
+
+func (c *catalog) readPage(id pager.PageID) (recs []byte, next pager.PageID, err error) {
+	p, err := c.store.Read(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	data := p.Data
+	if !catPageCRCOK(data) {
+		return nil, 0, fmt.Errorf("shard: catalog page %d: bad checksum: %w", id, pager.ErrPageCorrupt)
+	}
+	next = pager.PageID(binary.LittleEndian.Uint32(data[0:4]))
+	used := int(binary.LittleEndian.Uint32(data[4:8]))
+	if used < 0 || used > catCap(len(data)) || used%catRecLen != 0 {
+		return nil, 0, fmt.Errorf("shard: catalog page %d: used %d: %w", id, used, pager.ErrPageCorrupt)
+	}
+	return data[catHeaderLen : catHeaderLen+used], next, nil
+}
+
+func catPageCRCOK(data []byte) bool {
+	return chainPageCRCOK(data)
+}
+
+func catPageCRC(data []byte) uint32 {
+	return crc32.Checksum(data[:len(data)-4], castagnoli)
+}
+
+func (c *catalog) writePage(id, next pager.PageID, recs []byte) error {
+	pageSize := c.store.PageSize()
+	data := make([]byte, pageSize)
+	binary.LittleEndian.PutUint32(data[0:4], uint32(next))
+	binary.LittleEndian.PutUint32(data[4:8], uint32(len(recs)))
+	copy(data[catHeaderLen:], recs)
+	binary.LittleEndian.PutUint32(data[pageSize-4:], catPageCRC(data))
+	return c.store.Write(&pager.Page{ID: id, Data: data})
+}
+
+func encodeCatRec(buf []byte, op byte, m dual.Motion) []byte {
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.OID))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Y0))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.T0))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.V))
+	return buf
+}
+
+func decodeCatRec(rec []byte) (op byte, m dual.Motion) {
+	op = rec[0]
+	m.OID = dual.OID(binary.LittleEndian.Uint64(rec[1:9]))
+	m.Y0 = math.Float64frombits(binary.LittleEndian.Uint64(rec[9:17]))
+	m.T0 = math.Float64frombits(binary.LittleEndian.Uint64(rec[17:25]))
+	m.V = math.Float64frombits(binary.LittleEndian.Uint64(rec[25:33]))
+	return op, m
+}
+
+// append logs the ops, growing the chain as tail pages fill. Must run in
+// the owner's open batch, after the ops were applied to the index.
+func (c *catalog) append(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	cap_ := catCap(c.store.PageSize())
+	tail := c.pages[len(c.pages)-1]
+	recs, _, err := c.readPage(tail)
+	if err != nil {
+		return err
+	}
+	// Work on a copy: recs aliases the store's page buffer.
+	cur := append(make([]byte, 0, cap_), recs...)
+	for _, op := range ops {
+		if len(cur) == cap_ {
+			p, err := c.store.Allocate()
+			if err != nil {
+				return err
+			}
+			// Seal the full page, linking it to its new successor.
+			if err := c.writePage(tail, p.ID, cur); err != nil {
+				return err
+			}
+			tail = p.ID
+			c.pages = append(c.pages, tail)
+			cur = cur[:0]
+		}
+		opByte := byte(catOpDelete)
+		if op.Insert {
+			opByte = catOpInsert
+			c.live++
+		} else {
+			c.live--
+		}
+		cur = encodeCatRec(cur, opByte, op.M)
+		c.records++
+	}
+	if err := c.writePage(tail, pager.NilPage, cur); err != nil {
+		return err
+	}
+	c.tailUsed = len(cur)
+	if dead := c.records - c.live; dead > c.live+64 {
+		ms, err := c.motions()
+		if err != nil {
+			return err
+		}
+		return c.rewrite(ms)
+	}
+	return nil
+}
+
+// rewrite replaces the log with plain inserts of ms (the BulkLoad and
+// compaction path). The head page id is stable — the superblock need not
+// change for a rewrite — while every overflow page is freed and
+// reallocated. Must run in the owner's open batch.
+func (c *catalog) rewrite(ms []dual.Motion) error {
+	for _, id := range c.pages[1:] {
+		if err := c.store.Free(id); err != nil {
+			return err
+		}
+	}
+	c.pages = c.pages[:1]
+	cap_ := catCap(c.store.PageSize())
+	var cur []byte
+	tail := c.head
+	for _, m := range ms {
+		if len(cur) == cap_ {
+			p, err := c.store.Allocate()
+			if err != nil {
+				return err
+			}
+			if err := c.writePage(tail, p.ID, cur); err != nil {
+				return err
+			}
+			tail = p.ID
+			c.pages = append(c.pages, tail)
+			cur = cur[:0]
+		}
+		cur = encodeCatRec(cur, catOpInsert, m)
+	}
+	if err := c.writePage(tail, pager.NilPage, cur); err != nil {
+		return err
+	}
+	c.tailUsed = len(cur)
+	c.live = len(ms)
+	c.records = len(ms)
+	return nil
+}
+
+// motions replays the log into the live motion multiset, sorted by
+// (OID, T0, Y0, V) so identical shard states enumerate identically.
+func (c *catalog) motions() ([]dual.Motion, error) {
+	counts := make(map[dual.Motion]int)
+	for _, id := range c.pages {
+		recs, _, err := c.readPage(id)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(recs); off += catRecLen {
+			op, m := decodeCatRec(recs[off : off+catRecLen])
+			if op == catOpInsert {
+				counts[m]++
+			} else {
+				counts[m]--
+			}
+		}
+	}
+	var ms []dual.Motion
+	for m, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("shard: catalog: motion %d deleted more than inserted: %w",
+				m.OID, pager.ErrPageCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			ms = append(ms, m)
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.OID != b.OID {
+			return a.OID < b.OID
+		}
+		if a.T0 != b.T0 {
+			return a.T0 < b.T0
+		}
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		return a.V < b.V
+	})
+	return ms, nil
+}

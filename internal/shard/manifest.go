@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mobidx/internal/pager"
+)
+
+// The cluster manifest is the single authority on topology: which store
+// serves which band, under which epoch, and whether a migration is in
+// flight. It lives in its own tiny WAL-backed media ("manifest"), written
+// as one atomic batch per change — so a crash at any instant recovers to
+// exactly one manifest, and therefore exactly one topology: the old one
+// or the new one, never a mix. The epoch increments only at a migration
+// flip, giving tests a monotonic witness that no intermediate topology
+// was ever published.
+
+const manMagic = "MOBIDXMF"
+
+const manVersion = 1
+
+// Migration states. A migration is a monotone three-step record:
+// none → prepared (receiver store allocated, nothing published) →
+// flipped (new topology published, source not yet trimmed) → none.
+const (
+	migNone = iota
+	migPrepared
+	migFlipped
+)
+
+// bandEntry maps one band to its serving store. Hi is the band's upper
+// bound; the entries partition [0, YMax] in ascending order, so the cut
+// list of the equivalent Partitioner is every Hi but the last.
+type bandEntry struct {
+	Store int
+	Hi    float64
+}
+
+// migRecord is the in-flight migration, if any.
+type migRecord struct {
+	State    int     // migNone / migPrepared / migFlipped
+	Band     int     // band being split (index in the PRE-flip topology)
+	Cut      float64 // split position, strictly inside the band
+	NewStore int     // store id allocated for the receiver
+}
+
+// manifest is the durable cluster topology record.
+type manifest struct {
+	Epoch     uint64 // bumps exactly once per completed flip
+	NextStore int    // store-id allocator; ids are never reused
+	Bands     []bandEntry
+	Mig       migRecord
+}
+
+func encodeManifest(m manifest) []byte {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u32(manVersion)
+	u64(m.Epoch)
+	u32(uint32(m.NextStore))
+	u32(uint32(len(m.Bands)))
+	for _, b := range m.Bands {
+		u32(uint32(b.Store))
+		f64(b.Hi)
+	}
+	u32(uint32(m.Mig.State))
+	u32(uint32(m.Mig.Band))
+	f64(m.Mig.Cut)
+	u32(uint32(m.Mig.NewStore))
+	return buf
+}
+
+func decodeManifest(buf []byte) (manifest, error) {
+	var m manifest
+	corrupt := func(what string) (manifest, error) {
+		return manifest{}, fmt.Errorf("shard: manifest: %s: %w", what, pager.ErrPageCorrupt)
+	}
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, true
+	}
+	f64 := func() (float64, bool) {
+		v, ok := u64()
+		return math.Float64frombits(v), ok
+	}
+	ver, ok := u32()
+	if !ok || ver != manVersion {
+		return corrupt(fmt.Sprintf("version %d", ver))
+	}
+	epoch, ok1 := u64()
+	next, ok2 := u32()
+	nBands, ok3 := u32()
+	if !ok1 || !ok2 || !ok3 || nBands == 0 || nBands > 1<<20 {
+		return corrupt("header")
+	}
+	m.Epoch = epoch
+	m.NextStore = int(next)
+	prev := math.Inf(-1)
+	for i := uint32(0); i < nBands; i++ {
+		store, ok1 := u32()
+		hi, ok2 := f64()
+		if !ok1 || !ok2 {
+			return corrupt(fmt.Sprintf("band %d", i))
+		}
+		if hi <= prev {
+			return corrupt(fmt.Sprintf("band %d bound %v out of order", i, hi))
+		}
+		prev = hi
+		m.Bands = append(m.Bands, bandEntry{Store: int(store), Hi: hi})
+	}
+	st, ok1 := u32()
+	band, ok2 := u32()
+	cut, ok3 := f64()
+	newStore, ok4 := u32()
+	if !ok1 || !ok2 || !ok3 || !ok4 || st > migFlipped {
+		return corrupt("migration record")
+	}
+	m.Mig = migRecord{State: int(st), Band: int(band), Cut: cut, NewStore: int(newStore)}
+	if off != len(buf) {
+		return corrupt("trailing bytes")
+	}
+	return m, nil
+}
+
+// partitionerOf derives the Partitioner equivalent to the manifest's band
+// table.
+func (m manifest) partitionerOf() (*Partitioner, error) {
+	yMax := m.Bands[len(m.Bands)-1].Hi
+	cuts := make([]float64, 0, len(m.Bands)-1)
+	for _, b := range m.Bands[:len(m.Bands)-1] {
+		cuts = append(cuts, b.Hi)
+	}
+	return NewPartitionerCuts(yMax, cuts)
+}
+
+// manifestStore is the manifest's WAL-backed home: a page chain inside
+// its own store, rewritten as one atomic batch per change.
+type manifestStore struct {
+	wal *pager.WALStore
+	ch  *chain
+}
+
+// openManifestStore opens (or initializes) the manifest media and loads
+// the current manifest. init is called to produce the first manifest when
+// the media is fresh; it is not called on reopen.
+func openManifestStore(media Media, init func() (manifest, error)) (*manifestStore, manifest, error) {
+	wal, err := pager.OpenWALStore(media.Base, media.Log, pager.WALConfig{})
+	if err != nil {
+		return nil, manifest{}, fmt.Errorf("shard: manifest wal: %w", err)
+	}
+	fail := func(err error) (*manifestStore, manifest, error) {
+		werr := wal.Close()
+		if werr != nil {
+			err = fmt.Errorf("%w (close: %v)", err, werr)
+		}
+		return nil, manifest{}, err
+	}
+	ch, err := findChainRoot(wal, manMagic)
+	if err == nil {
+		payload, err := ch.read()
+		if err != nil {
+			return fail(fmt.Errorf("shard: manifest read: %w", err))
+		}
+		m, err := decodeManifest(payload)
+		if err != nil {
+			return fail(err)
+		}
+		return &manifestStore{wal: wal, ch: ch}, m, nil
+	}
+	if !isChainNotFound(err) {
+		return fail(fmt.Errorf("shard: manifest locate: %w", err))
+	}
+	m, err := init()
+	if err != nil {
+		return fail(err)
+	}
+	ms := &manifestStore{wal: wal}
+	err = pager.RunBatch(wal, func() error {
+		ch, cerr := initChain(wal, manMagic)
+		if cerr != nil {
+			return cerr
+		}
+		ms.ch = ch
+		return ch.write(encodeManifest(m))
+	})
+	if err != nil {
+		return fail(fmt.Errorf("shard: manifest init: %w", err))
+	}
+	return ms, m, nil
+}
+
+// save atomically replaces the durable manifest. On return the new
+// manifest is committed and synced — the next reboot sees it.
+func (s *manifestStore) save(m manifest) error {
+	return pager.RunBatch(s.wal, func() error {
+		return s.ch.write(encodeManifest(m))
+	})
+}
+
+func (s *manifestStore) close() error { return s.wal.Close() }

@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"mobidx/internal/pager"
+)
+
+// A page chain is the durability primitive the cluster lifecycle is built
+// on: a small variable-length payload (a shard superblock, the cluster
+// manifest) stored in a linked list of pages whose root never moves. The
+// root is self-describing — an 8-byte magic plus a CRC-32C trailer — so a
+// reopened store finds it with a bounded scan of the low page ids (the
+// root is allocated in the component's very first batch, so its id is
+// always small), with no reliance on store-specific metadata areas.
+//
+// Writes happen inside the caller's open WAL batch: the whole chain —
+// root rewrite, overflow allocations, old-overflow frees — commits
+// atomically with the data mutation it describes, which is what makes a
+// crash recover to exactly-old or exactly-new state.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// chainScanLimit bounds the root scan at open. Chain roots are allocated
+// in a fresh store's first batch (right after the WAL watermark page), so
+// their ids are single digits; 64 leaves generous slack.
+const chainScanLimit = 64
+
+// chainHeaderLen is magic(8) + next(4) + length(4); a trailing CRC closes
+// each page.
+const chainHeaderLen = 16
+
+// errChainNotFound marks a scan that found no chain root.
+var errChainNotFound = errors.New("shard: page chain root not found")
+
+// isChainNotFound reports whether err means "fresh media, no chain yet".
+func isChainNotFound(err error) bool { return errors.Is(err, errChainNotFound) }
+
+// chain is one page chain bound to its store.
+type chain struct {
+	store    pager.Store
+	magic    string // exactly 8 bytes
+	root     pager.PageID
+	overflow []pager.PageID // current pages after the root, in order
+}
+
+func chainCap(pageSize int) int { return pageSize - chainHeaderLen - 4 }
+
+// initChain allocates a fresh chain root inside the caller's open batch
+// and writes an empty payload into it.
+func initChain(store pager.Store, magic string) (*chain, error) {
+	if len(magic) != 8 {
+		return nil, fmt.Errorf("shard: chain magic %q must be 8 bytes", magic)
+	}
+	p, err := store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	c := &chain{store: store, magic: magic, root: p.ID}
+	if err := c.write(nil); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// findChainRoot scans the low page ids for a page carrying the magic and
+// a valid CRC, returning the attached chain (its overflow list is
+// populated by the first read). Stores report unallocated ids with
+// ErrPageNotFound; any other read error propagates — a half-broken store
+// must not be mistaken for a fresh one.
+func findChainRoot(store pager.Store, magic string) (*chain, error) {
+	if len(magic) != 8 {
+		return nil, fmt.Errorf("shard: chain magic %q must be 8 bytes", magic)
+	}
+	for id := pager.PageID(1); id <= chainScanLimit; id++ {
+		p, err := store.Read(id)
+		if err != nil {
+			if errors.Is(err, pager.ErrPageNotFound) || errors.Is(err, pager.ErrReservedPage) {
+				continue
+			}
+			return nil, fmt.Errorf("shard: chain scan page %d: %w", id, err)
+		}
+		if string(p.Data[0:8]) != magic {
+			continue
+		}
+		if !chainPageCRCOK(p.Data) {
+			continue
+		}
+		c := &chain{store: store, magic: magic, root: id}
+		if _, err := c.read(); err != nil {
+			return nil, fmt.Errorf("shard: chain root %d: %w", id, err)
+		}
+		return c, nil
+	}
+	return nil, errChainNotFound
+}
+
+func chainPageCRCOK(data []byte) bool {
+	n := len(data)
+	want := binary.LittleEndian.Uint32(data[n-4:])
+	return crc32.Checksum(data[:n-4], castagnoli) == want
+}
+
+// decodeChainPage validates one chain page and returns its payload slice
+// (aliasing data) and successor.
+func (c *chain) decodeChainPage(id pager.PageID, data []byte) (payload []byte, next pager.PageID, err error) {
+	if string(data[0:8]) != c.magic {
+		return nil, 0, fmt.Errorf("shard: chain page %d: bad magic: %w", id, pager.ErrPageCorrupt)
+	}
+	if !chainPageCRCOK(data) {
+		return nil, 0, fmt.Errorf("shard: chain page %d: bad checksum: %w", id, pager.ErrPageCorrupt)
+	}
+	next = pager.PageID(binary.LittleEndian.Uint32(data[8:12]))
+	n := int(binary.LittleEndian.Uint32(data[12:16]))
+	if n < 0 || n > chainCap(len(data)) {
+		return nil, 0, fmt.Errorf("shard: chain page %d: length %d: %w", id, n, pager.ErrPageCorrupt)
+	}
+	return data[chainHeaderLen : chainHeaderLen+n], next, nil
+}
+
+// read returns the chain's full payload and refreshes the overflow list.
+func (c *chain) read() ([]byte, error) {
+	var payload []byte
+	c.overflow = c.overflow[:0]
+	id := c.root
+	for hops := 0; ; hops++ {
+		if hops > chainScanLimit*1024 {
+			return nil, fmt.Errorf("shard: chain from %d: cycle: %w", c.root, pager.ErrPageCorrupt)
+		}
+		p, err := c.store.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		part, next, err := c.decodeChainPage(id, p.Data)
+		if err != nil {
+			return nil, err
+		}
+		payload = append(payload, part...)
+		if next == pager.NilPage {
+			return payload, nil
+		}
+		id = next
+		c.overflow = append(c.overflow, id)
+	}
+}
+
+// write replaces the chain's payload inside the caller's open batch: the
+// root page is rewritten in place, overflow pages are reallocated to fit,
+// and surplus old overflow pages are freed. Call only with the batch
+// open — the chain is the atomic commit record of that batch.
+func (c *chain) write(payload []byte) error {
+	pageSize := c.store.PageSize()
+	cap_ := chainCap(pageSize)
+	need := 0
+	if len(payload) > cap_ {
+		need = (len(payload) - cap_ + cap_ - 1) / cap_
+	}
+	// Grow or shrink the overflow list to exactly `need` pages.
+	for len(c.overflow) < need {
+		p, err := c.store.Allocate()
+		if err != nil {
+			return err
+		}
+		c.overflow = append(c.overflow, p.ID)
+	}
+	for len(c.overflow) > need {
+		last := c.overflow[len(c.overflow)-1]
+		if err := c.store.Free(last); err != nil {
+			return err
+		}
+		c.overflow = c.overflow[:len(c.overflow)-1]
+	}
+	ids := append([]pager.PageID{c.root}, c.overflow...)
+	off := 0
+	for i, id := range ids {
+		n := len(payload) - off
+		if n > cap_ {
+			n = cap_
+		}
+		data := make([]byte, pageSize)
+		copy(data[0:8], c.magic)
+		next := pager.NilPage
+		if i+1 < len(ids) {
+			next = ids[i+1]
+		}
+		binary.LittleEndian.PutUint32(data[8:12], uint32(next))
+		binary.LittleEndian.PutUint32(data[12:16], uint32(n))
+		copy(data[chainHeaderLen:], payload[off:off+n])
+		binary.LittleEndian.PutUint32(data[pageSize-4:],
+			crc32.Checksum(data[:pageSize-4], castagnoli))
+		if err := c.store.Write(&pager.Page{ID: id, Data: data}); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}

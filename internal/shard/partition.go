@@ -19,6 +19,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 
 	"mobidx/internal/dual"
 )
@@ -33,44 +34,96 @@ import (
 // would drop an object from the answer.
 const assignSlack = 1e-6
 
-// Partitioner deterministically splits the terrain [0, YMax] into n
-// contiguous bands of equal height. Band i owns [i·H, (i+1)·H), H =
-// YMax/n; the top band also owns y = YMax. It is pure arithmetic — every
+// Partitioner deterministically splits the terrain [0, YMax] into
+// contiguous bands at interior cut positions: with cuts c1 < … < c_{n-1},
+// band 0 owns [0, c1), band i owns [c_i, c_{i+1}), and the top band also
+// owns y = YMax. It is pure arithmetic over an immutable cut list — every
 // router replica computes the same assignment, which is what makes the
-// sharding contract testable against a single-index oracle.
+// sharding contract testable against a single-index oracle, and a
+// rebalance is a new Partitioner with one more cut, never a mutation
+// (see SplitBand).
 type Partitioner struct {
 	yMax float64
-	n    int
-	h    float64
+	cuts []float64 // interior cuts, strictly ascending, within (0, yMax)
 }
 
-// NewPartitioner builds a partitioner over [0, yMax] with n bands.
+// NewPartitioner builds a partitioner over [0, yMax] with n equal bands.
 func NewPartitioner(yMax float64, n int) (*Partitioner, error) {
-	if yMax <= 0 {
-		return nil, fmt.Errorf("shard: partitioner needs yMax > 0, got %v", yMax)
-	}
 	if n < 1 {
 		return nil, fmt.Errorf("shard: partitioner needs >= 1 band, got %d", n)
 	}
-	return &Partitioner{yMax: yMax, n: n, h: yMax / float64(n)}, nil
+	cuts := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, yMax*float64(i)/float64(n))
+	}
+	return NewPartitionerCuts(yMax, cuts)
+}
+
+// NewPartitionerCuts builds a partitioner over [0, yMax] with the given
+// interior cuts (strictly ascending, strictly inside (0, yMax)); len(cuts)
+// + 1 bands result. An empty cut list is the single-band partitioner.
+func NewPartitionerCuts(yMax float64, cuts []float64) (*Partitioner, error) {
+	if yMax <= 0 {
+		return nil, fmt.Errorf("shard: partitioner needs yMax > 0, got %v", yMax)
+	}
+	own := make([]float64, len(cuts))
+	copy(own, cuts)
+	prev := 0.0
+	for i, c := range own {
+		if c <= prev || c >= yMax {
+			return nil, fmt.Errorf("shard: cut %d = %v out of order in (0, %v)", i, c, yMax)
+		}
+		prev = c
+	}
+	return &Partitioner{yMax: yMax, cuts: own}, nil
 }
 
 // N returns the number of bands.
-func (p *Partitioner) N() int { return p.n }
+func (p *Partitioner) N() int { return len(p.cuts) + 1 }
 
-// BandHeight returns H = YMax/n.
-func (p *Partitioner) BandHeight() float64 { return p.h }
+// Cuts returns a copy of the interior cut positions (ascending).
+func (p *Partitioner) Cuts() []float64 {
+	out := make([]float64, len(p.cuts))
+	copy(out, p.cuts)
+	return out
+}
 
-// band returns the band owning position y, clamped into [0, n).
+// Bounds returns band i's extent [lo, hi) (the top band also owns hi).
+func (p *Partitioner) Bounds(i int) (lo, hi float64) {
+	lo, hi = 0, p.yMax
+	if i > 0 {
+		lo = p.cuts[i-1]
+	}
+	if i < len(p.cuts) {
+		hi = p.cuts[i]
+	}
+	return lo, hi
+}
+
+// SplitBand returns a new partitioner with band i split at cut, which
+// must fall strictly inside the band. Band i becomes [lo, cut) and a new
+// band i+1 becomes [cut, hi); every band above shifts up by one. The
+// receiver is untouched — topology swaps install the new value atomically.
+func (p *Partitioner) SplitBand(i int, cut float64) (*Partitioner, error) {
+	if i < 0 || i >= p.N() {
+		return nil, fmt.Errorf("shard: split band %d of %d", i, p.N())
+	}
+	lo, hi := p.Bounds(i)
+	if cut <= lo || cut >= hi {
+		return nil, fmt.Errorf("shard: split cut %v outside band %d = [%v, %v)", cut, i, lo, hi)
+	}
+	cuts := make([]float64, 0, len(p.cuts)+1)
+	cuts = append(cuts, p.cuts[:i]...)
+	cuts = append(cuts, cut)
+	cuts = append(cuts, p.cuts[i:]...)
+	return NewPartitionerCuts(p.yMax, cuts)
+}
+
+// band returns the band owning position y: the number of interior cuts at
+// or below y, so a position exactly on a cut belongs to the band above it
+// (out-of-terrain positions clamp to the border bands).
 func (p *Partitioner) band(y float64) int {
-	i := int(y / p.h)
-	if i < 0 {
-		return 0
-	}
-	if i >= p.n {
-		return p.n - 1
-	}
-	return i
+	return sort.Search(len(p.cuts), func(i int) bool { return p.cuts[i] > y })
 }
 
 // Overlapping returns the bands a query must be fanned to: every band
@@ -98,7 +151,7 @@ func (p *Partitioner) Overlapping(q dual.MORQuery) []int {
 func (p *Partitioner) Assign(m dual.Motion) []int {
 	var lo, hi int
 	if m.V >= 0 {
-		lo, hi = p.band(m.Y0-assignSlack), p.n-1
+		lo, hi = p.band(m.Y0-assignSlack), p.N()-1
 	} else {
 		lo, hi = 0, p.band(m.Y0+assignSlack)
 	}

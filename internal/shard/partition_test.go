@@ -17,8 +17,53 @@ func TestPartitionerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.N() != 4 || p.BandHeight() != 250 {
-		t.Fatalf("N=%d H=%v, want 4/250", p.N(), p.BandHeight())
+	if p.N() != 4 {
+		t.Fatalf("N=%d, want 4", p.N())
+	}
+	if lo, hi := p.Bounds(1); lo != 250 || hi != 500 {
+		t.Fatalf("Bounds(1) = [%v, %v), want [250, 500)", lo, hi)
+	}
+	// Cut validation: out of order and out of range both rejected.
+	if _, err := NewPartitionerCuts(1000, []float64{500, 250}); err == nil {
+		t.Fatal("descending cuts accepted")
+	}
+	if _, err := NewPartitionerCuts(1000, []float64{0}); err == nil {
+		t.Fatal("cut at 0 accepted")
+	}
+	if _, err := NewPartitionerCuts(1000, []float64{1000}); err == nil {
+		t.Fatal("cut at yMax accepted")
+	}
+}
+
+func TestPartitionerSplitBand(t *testing.T) {
+	p, _ := NewPartitioner(1000, 4)
+	q, err := p.SplitBand(1, 300) // [250,500) -> [250,300) + [300,500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N() != 5 {
+		t.Fatalf("N after split = %d, want 5", q.N())
+	}
+	wantCuts := []float64{250, 300, 500, 750}
+	for i, c := range q.Cuts() {
+		if c != wantCuts[i] {
+			t.Fatalf("cuts after split = %v, want %v", q.Cuts(), wantCuts)
+		}
+	}
+	// The receiver is untouched.
+	if p.N() != 4 {
+		t.Fatalf("original mutated: N=%d", p.N())
+	}
+	// Equal-band routing semantics survive the equivalent cuts form: the
+	// split partitioner agrees with a fresh cuts construction.
+	if lo, hi := q.Bounds(2); lo != 300 || hi != 500 {
+		t.Fatalf("Bounds(2) = [%v, %v), want [300, 500)", lo, hi)
+	}
+	if _, err := p.SplitBand(1, 250); err == nil {
+		t.Fatal("cut on band floor accepted")
+	}
+	if _, err := p.SplitBand(9, 300); err == nil {
+		t.Fatal("out-of-range band accepted")
 	}
 }
 

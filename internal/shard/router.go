@@ -120,6 +120,7 @@ type Stats struct {
 	BreakerOpens int64 // closed/half-open → open transitions
 	Partial      int64 // queries answered degraded
 	FailedShards int64 // shard calls that exhausted the retry budget
+	Revived      int64 // shards swapped back in by ReplaceShard (recovery)
 }
 
 // breaker is one shard's circuit breaker: closed (normal), open
@@ -178,15 +179,27 @@ func (b *breaker) failure(now time.Time, pol Policy) bool {
 	return false
 }
 
+// topology is one immutable generation of the router's world: the space
+// partitioner plus the shard and breaker owning each band. A rebalance or
+// a revive builds a fresh topology value and installs it under the write
+// half of topoMu — queries and writes hold the read half for their whole
+// call, so every operation sees exactly one generation and a topology
+// swap doubles as the migration's quiesce barrier.
+type topology struct {
+	part   *Partitioner
+	shards []*Shard
+	brk    []*breaker
+}
+
 // Router owns a cluster of shards and serves MOR queries and motion
 // batches across them under the failure policy. It is safe for
 // concurrent use.
 type Router struct {
-	part   *Partitioner
-	shards []*Shard
+	topoMu sync.RWMutex
+	topo   topology
+
 	exec   *core.Executor
 	policy Policy
-	brk    []*breaker
 	now    func() time.Time
 
 	rngMu sync.Mutex
@@ -201,6 +214,7 @@ type Router struct {
 	stBreakerOpens atomic.Int64
 	stPartial      atomic.Int64
 	stFailedShards atomic.Int64
+	stRevived      atomic.Int64
 }
 
 // NewRouter assembles a router over the shards; shard i must own band i
@@ -231,21 +245,73 @@ func NewRouter(shards []*Shard, part *Partitioner, exec *core.Executor, policy P
 		brk[i] = &breaker{}
 	}
 	return &Router{
-		part:   part,
-		shards: shards,
+		topo:   topology{part: part, shards: shards, brk: brk},
 		exec:   exec,
 		policy: policy,
-		brk:    brk,
 		now:    time.Now,
 		rng:    rand.New(rand.NewSource(seed)),
 	}, nil
 }
 
-// Partitioner returns the router's space partitioner.
-func (r *Router) Partitioner() *Partitioner { return r.part }
+// Partitioner returns the router's current space partitioner.
+func (r *Router) Partitioner() *Partitioner {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	return r.topo.part
+}
 
-// Shard returns shard i, for health inspection.
-func (r *Router) Shard(i int) *Shard { return r.shards[i] }
+// Shard returns the shard serving band i in the current topology (nil if
+// the band does not exist), for health inspection.
+func (r *Router) Shard(i int) *Shard {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	if i < 0 || i >= len(r.topo.shards) {
+		return nil
+	}
+	return r.topo.shards[i]
+}
+
+// ReplaceShard installs s as the server for band i, resetting the band's
+// circuit breaker so the revived shard does not inherit the dead one's
+// tripped state, and returns the shard it replaced (the caller owns
+// closing it). It waits for in-flight operations against the old topology
+// to drain, so no query observes the swap halfway.
+func (r *Router) ReplaceShard(i int, s *Shard) (*Shard, error) {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	if i < 0 || i >= len(r.topo.shards) {
+		return nil, fmt.Errorf("shard: replace band %d of %d", i, len(r.topo.shards))
+	}
+	old := r.topo.shards[i]
+	shards := append([]*Shard(nil), r.topo.shards...)
+	brk := append([]*breaker(nil), r.topo.brk...)
+	shards[i] = s
+	brk[i] = &breaker{}
+	r.topo = topology{part: r.topo.part, shards: shards, brk: brk}
+	r.stRevived.Add(1)
+	return old, nil
+}
+
+// swapTopology runs fn with the current topology under the exclusive
+// lock — every in-flight query and write has drained, none can start —
+// and installs the returned one. fn returning an error leaves the old
+// topology in place. This is the migration flip's quiesce barrier; fn
+// must be short (delta catch-up plus manifest flip), as the whole cluster
+// blocks while it runs.
+func (r *Router) swapTopology(fn func(old topology) (topology, error)) error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	next, err := fn(r.topo)
+	if err != nil {
+		return err
+	}
+	if next.part == nil || len(next.shards) != next.part.N() || len(next.brk) != next.part.N() {
+		return fmt.Errorf("shard: swap to inconsistent topology (%d shards, %d breakers, %d bands)",
+			len(next.shards), len(next.brk), next.part.N())
+	}
+	r.topo = next
+	return nil
+}
 
 // Stats returns a snapshot of the failure-policy counters.
 func (r *Router) Stats() Stats {
@@ -259,6 +325,7 @@ func (r *Router) Stats() Stats {
 		BreakerOpens: r.stBreakerOpens.Load(),
 		Partial:      r.stPartial.Load(),
 		FailedShards: r.stFailedShards.Load(),
+		Revived:      r.stRevived.Load(),
 	}
 }
 
@@ -271,14 +338,19 @@ func (r *Router) Stats() Stats {
 // returned error is a *PartialError naming the missing ones.
 func (r *Router) Query(ctx context.Context, q dual.MORQuery) ([]dual.OID, error) {
 	r.stQueries.Add(1)
-	targets := r.part.Overlapping(q)
+	// The read lock pins one topology generation for the whole query: a
+	// concurrent migration flip waits for us (and we never see its half).
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	topo := r.topo
+	targets := topo.part.Overlapping(q)
 	buckets := make([][]dual.OID, len(targets))
 	failures := make([]error, len(targets))
 	tasks := make([]func() error, len(targets))
 	for ti, si := range targets {
 		ti, si := ti, si
 		tasks[ti] = func() error {
-			res, err := r.queryShard(ctx, si, q)
+			res, err := r.queryShard(ctx, topo, si, q)
 			if err != nil {
 				if r.policy.AllowPartial && !isCallerCtxErr(ctx, err) {
 					failures[ti] = err
@@ -325,13 +397,13 @@ func retryable(err error) bool {
 
 // queryShard runs the full failure policy for one shard: breaker gate,
 // health gate, bounded retry with backoff+jitter, hedged attempts.
-func (r *Router) queryShard(ctx context.Context, si int, q dual.MORQuery) ([]dual.OID, error) {
-	b := r.brk[si]
+func (r *Router) queryShard(ctx context.Context, topo topology, si int, q dual.MORQuery) ([]dual.OID, error) {
+	b := topo.brk[si]
 	if !b.allow(r.now()) {
 		r.stBreakerSkips.Add(1)
 		return nil, fmt.Errorf("shard %d: breaker open: %w", si, ErrShardDown)
 	}
-	s := r.shards[si]
+	s := topo.shards[si]
 	r.stShardCalls.Add(1)
 	if h := s.Health(); !h.Healthy {
 		if b.failure(r.now(), r.policy) {
@@ -470,13 +542,16 @@ func (r *Router) attempt(ctx context.Context, s *Shard, q dual.MORQuery) ([]dual
 // surviving shards applied their batches, the named partitions did not,
 // and reads will degrade around them from now on.
 func (r *Router) Apply(ctx context.Context, ops []Op) error {
-	perShard := make([][]Op, len(r.shards))
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	topo := r.topo
+	perShard := make([][]Op, len(topo.shards))
 	for _, op := range ops {
-		for _, si := range r.part.Assign(op.M) {
+		for _, si := range topo.part.Assign(op.M) {
 			perShard[si] = append(perShard[si], op)
 		}
 	}
-	failures := make([]error, len(r.shards))
+	failures := make([]error, len(topo.shards))
 	var tasks []func() error
 	for si, batch := range perShard {
 		if len(batch) == 0 {
@@ -484,7 +559,7 @@ func (r *Router) Apply(ctx context.Context, ops []Op) error {
 		}
 		si, batch := si, batch
 		tasks = append(tasks, func() error {
-			if err := r.shards[si].Apply(ctx, batch); err != nil {
+			if err := topo.shards[si].Apply(ctx, batch); err != nil {
 				if isCallerCtxErr(ctx, err) {
 					return err
 				}
@@ -514,18 +589,21 @@ func (r *Router) Apply(ctx context.Context, ops []Op) error {
 // concurrently, each as one atomic batch. Any failure is returned as a
 // *PartialError (failed shards are quarantined).
 func (r *Router) BulkLoad(ctx context.Context, ms []dual.Motion) error {
-	perShard := make([][]dual.Motion, len(r.shards))
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	topo := r.topo
+	perShard := make([][]dual.Motion, len(topo.shards))
 	for _, m := range ms {
-		for _, si := range r.part.Assign(m) {
+		for _, si := range topo.part.Assign(m) {
 			perShard[si] = append(perShard[si], m)
 		}
 	}
-	failures := make([]error, len(r.shards))
-	tasks := make([]func() error, len(r.shards))
-	for si := range r.shards {
+	failures := make([]error, len(topo.shards))
+	tasks := make([]func() error, len(topo.shards))
+	for si := range topo.shards {
 		si := si
 		tasks[si] = func() error {
-			if err := r.shards[si].BulkLoad(ctx, perShard[si]); err != nil {
+			if err := topo.shards[si].BulkLoad(ctx, perShard[si]); err != nil {
 				if isCallerCtxErr(ctx, err) {
 					return err
 				}
@@ -554,10 +632,12 @@ func (r *Router) BulkLoad(ctx context.Context, ms []dual.Motion) error {
 // Degraded reports which shards are currently not serving (unhealthy or
 // breaker-open), for operational visibility.
 func (r *Router) Degraded() []int {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	now := r.now()
 	var out []int
-	for i, s := range r.shards {
-		b := r.brk[i]
+	for i, s := range r.topo.shards {
+		b := r.topo.brk[i]
 		b.mu.Lock()
 		open := b.state == brkOpen && now.Before(b.openUntil)
 		b.mu.Unlock()
@@ -570,8 +650,10 @@ func (r *Router) Degraded() []int {
 
 // Close shuts every shard down.
 func (r *Router) Close() error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
 	var errs []error
-	for _, s := range r.shards {
+	for _, s := range r.topo.shards {
 		if err := s.Close(); err != nil {
 			errs = append(errs, err)
 		}

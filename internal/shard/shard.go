@@ -75,13 +75,17 @@ var ErrShardDown = errors.New("shard: shard down")
 // logged private store, behind a context-aware interface. Queries share a
 // read latch; Apply/BulkLoad take the write latch and run as one atomic
 // WAL batch — a failed batch leaves no durable trace and quarantines the
-// shard (see Health).
+// shard (see Health). Every batch also rewrites the shard's superblock
+// and appends to its motion catalog (see durable.go), so Open can recover
+// the shard from its surviving base store and log alone.
 type Shard struct {
 	id    int
 	wal   *pager.WALStore
 	store pager.Store // the index's store: the WAL, possibly wrapped (Config.WrapStore)
 	ix    *core.DualBPlus
 	exec  *core.Executor // single worker: sequential pieces, ctx-checked between them
+	sb    *chain         // superblock page chain
+	cat   *catalog       // durable motion log
 
 	mu sync.RWMutex // serving latch: Query RLock, Apply/BulkLoad Lock
 
@@ -98,7 +102,18 @@ func New(cfg Config) (*Shard, error) {
 	if pageSize <= 0 {
 		pageSize = pager.DefaultPageSize
 	}
-	wal, err := pager.OpenWALStore(pager.NewMemStore(pageSize), pager.NewMemLog(),
+	return Open(cfg, pager.NewMemStore(pageSize), pager.NewMemLog())
+}
+
+// Open builds a shard over its durable media: a base page store and its
+// write-ahead log. The WAL is replayed first (pager.OpenWALStore), then
+// the shard's superblock is located; when present the index is reattached
+// from it (core.AttachDualBPlus) and the motion catalog rewound — the
+// crash-recovery path — and when absent the media is fresh and the shard
+// initializes itself with one atomic batch. Either way the shard serves
+// exactly the last committed batch's state.
+func Open(cfg Config, base pager.Store, log pager.LogFile) (*Shard, error) {
+	wal, err := pager.OpenWALStore(base, log,
 		pager.WALConfig{AutoCheckpointBytes: cfg.AutoCheckpointBytes})
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: open wal: %w", cfg.ID, err)
@@ -107,14 +122,77 @@ func New(cfg Config) (*Shard, error) {
 	if cfg.WrapStore != nil {
 		store = cfg.WrapStore(store)
 	}
-	ix, err := core.NewDualBPlus(store, core.DualBPlusConfig{
-		Terrain: cfg.Terrain, C: cfg.C, Codec: cfg.Codec,
-	})
+	s, err := openOn(cfg, wal, store)
 	if err != nil {
-		errs := errors.Join(err, wal.Close())
-		return nil, fmt.Errorf("shard %d: create index: %w", cfg.ID, errs)
+		return nil, errors.Join(err, wal.Close())
 	}
-	return &Shard{id: cfg.ID, wal: wal, store: store, ix: ix, exec: core.NewExecutor(1)}, nil
+	return s, nil
+}
+
+func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) {
+	dcfg := core.DualBPlusConfig{Terrain: cfg.Terrain, C: cfg.C, Codec: cfg.Codec}
+	sb, err := findChainRoot(store, sbMagic)
+	switch {
+	case err == nil:
+		// Recovery: reattach the index and catalog from the superblock.
+		payload, err := sb.read()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: read superblock: %w", cfg.ID, err)
+		}
+		rec, err := decodeSuperblock(payload)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", cfg.ID, err)
+		}
+		ix, err := core.AttachDualBPlus(store, dcfg, rec.meta)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: attach index: %w", cfg.ID, err)
+		}
+		cat, err := attachCatalog(store, rec.catHead)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: attach catalog: %w", cfg.ID, err)
+		}
+		if cat.live != ix.Len() {
+			return nil, fmt.Errorf("shard %d: catalog holds %d live motions, index %d: %w",
+				cfg.ID, cat.live, ix.Len(), pager.ErrPageCorrupt)
+		}
+		return &Shard{id: cfg.ID, wal: wal, store: store, ix: ix,
+			exec: core.NewExecutor(1), sb: sb, cat: cat}, nil
+
+	case errors.Is(err, errChainNotFound):
+		// Fresh media: initialize superblock and catalog in one batch.
+		ix, err := core.NewDualBPlus(store, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: create index: %w", cfg.ID, err)
+		}
+		s := &Shard{id: cfg.ID, wal: wal, store: store, ix: ix, exec: core.NewExecutor(1)}
+		err = pager.RunBatch(store, func() error {
+			sbc, cerr := initChain(store, sbMagic)
+			if cerr != nil {
+				return cerr
+			}
+			s.sb = sbc
+			cat, cerr := initCatalog(store)
+			if cerr != nil {
+				return cerr
+			}
+			s.cat = cat
+			return s.saveMeta()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: initialize: %w", cfg.ID, err)
+		}
+		return s, nil
+
+	default:
+		return nil, fmt.Errorf("shard %d: locate superblock: %w", cfg.ID, err)
+	}
+}
+
+// saveMeta rewrites the superblock from the current index metadata. Must
+// run inside the shard's open batch, after every index mutation of that
+// batch.
+func (s *Shard) saveMeta() error {
+	return s.sb.write(encodeSuperblock(superblock{catHead: s.cat.head, meta: s.ix.Meta()}))
 }
 
 // ID returns the shard's cluster index.
@@ -224,7 +302,10 @@ func (s *Shard) Apply(ctx context.Context, ops []Op) error {
 			}
 			applied++
 		}
-		return nil
+		if err := s.cat.append(ops); err != nil {
+			return err
+		}
+		return s.saveMeta()
 	})
 	// A pre-first-op cancellation left the in-memory index untouched;
 	// every other failure (including a first op that died mid-split) may
@@ -250,12 +331,46 @@ func (s *Shard) BulkLoad(ctx context.Context, ms []dual.Motion) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.ix.BulkLoad(ms)
+	err := pager.RunBatch(s.store, func() error {
+		if err := s.ix.BulkLoad(ms); err != nil {
+			return err
+		}
+		if err := s.cat.rewrite(ms); err != nil {
+			return err
+		}
+		return s.saveMeta()
+	})
 	if err != nil {
 		s.quarantine(err)
 	}
 	s.observe(err)
 	return err
+}
+
+// Motions enumerates the shard's live motions from its durable catalog,
+// sorted by (OID, T0, Y0, V). This is the exact record of what the shard
+// holds — the dual transform is not invertible in a way that preserves
+// residence intervals, so migration and peer rebuild read from here, not
+// from the trees.
+func (s *Shard) Motions() ([]dual.Motion, error) {
+	if err := s.down(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cat.motions()
+}
+
+// Checkpoint folds the shard's committed WAL into its base store and
+// truncates the log — the idle-time compaction hook; recovery works with
+// or without it.
+func (s *Shard) Checkpoint() error {
+	if err := s.down(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Checkpoint()
 }
 
 func (s *Shard) quarantine(cause error) {

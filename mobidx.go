@@ -265,6 +265,23 @@ func NewDualBPlusIndex(store Store, cfg DualBPlusConfig) (*core.DualBPlus, error
 	return core.NewDualBPlus(store, cfg)
 }
 
+// DualMeta is the persistence metadata of a Dual-B+ index: tree roots,
+// heights and sizes per rotation generation, obtained from the index's
+// Meta method. It is valid until the next mutating operation and must be
+// persisted in the same atomic batch as the mutation that produced it
+// (e.g. inside the RunBatch that applied the writes), or crash recovery
+// would pair old roots with new pages.
+type DualMeta = core.DualMeta
+
+// AttachDualBPlusIndex reattaches a Dual-B+ index previously built in
+// store (same page size, terrain, c and codec) from its persisted Meta —
+// typically after the store was recovered by OpenWALStore. No logical
+// replay happens: every tree root is read and validated, so corrupted or
+// stale metadata surfaces here instead of as a wrong answer later.
+func AttachDualBPlusIndex(store Store, cfg DualBPlusConfig, m DualMeta) (*core.DualBPlus, error) {
+	return core.AttachDualBPlus(store, cfg, m)
+}
+
 // NewKDIndex creates the k-d dual index (§3.5.1).
 func NewKDIndex(store Store, cfg KDConfig) (*core.KDDual, error) {
 	return core.NewKDDual(store, cfg)

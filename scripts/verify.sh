@@ -42,6 +42,18 @@ echo "== chaos sweep (topology x fault x policy, race-gated) =="
 # and zero goroutine leaks — all under the race detector.
 go test -race -count=1 -run 'TestChaos' ./internal/shard/chaostest
 
+echo "== cluster crash sweep (kill points x fault schedules x topologies, race-gated) =="
+# The durable-cluster lifecycle harness: kill-and-reopen a live band split
+# at every write/sync boundary under every media failure mode and
+# topology, asserting one manifest-proven topology on reboot (never a
+# mix), byte-identical recovered answers, and idempotent resume; plus the
+# fault-injected (non-crash) migration resume path and the durable shard
+# recovery/lifecycle tests.
+go test -race -count=1 -run 'TestClusterCrashSweep|TestClusterSplitFaultResume' \
+	./internal/shard/chaostest
+go test -race -count=1 -run 'TestCluster|TestShardCloseDuringHedgedReads|TestPartialError' \
+	./internal/shard
+
 echo "== stress matrix (GOMAXPROCS=1,4) =="
 # The concurrency tests must hold both when goroutines interleave on one
 # processor (maximal context-switch churn) and when they run truly in
