@@ -58,8 +58,22 @@ func main() {
 		build    = flag.Bool("build", false, "run the incremental-vs-bulk construction benchmark instead of the figures")
 		buildN   = flag.Int("buildn", 100000, "records per structure for -build")
 		buildOut = flag.String("buildout", "BENCH_build.json", "output file for the -build report")
+
+		subBench  = flag.Bool("subscribe", false, "run the continuous-query subscription benchmark instead of the figures")
+		subCounts = flag.String("subcounts", "100,1000,10000", "comma-separated standing-query counts for -subscribe")
+		subN      = flag.Int("subn", 2000, "commuter population for -subscribe")
+		subTicks  = flag.Int("subticks", 20, "trace length for -subscribe")
+		subOut    = flag.String("subout", "BENCH_subscribe.json", "output file for the -subscribe report")
 	)
 	flag.Parse()
+
+	if *subBench {
+		if err := runSubscribe(*subCounts, *subN, *subTicks, *subOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mobbench: subscribe: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *build {
 		if err := runBuild(*buildN, *buildOut); err != nil {
@@ -381,6 +395,60 @@ func runClusterBench(countsCSV string, workers, n, queries int, outPath string) 
 		return err
 	}
 	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+// runSubscribe measures the subscription engine's incremental maintenance
+// against naive per-tick re-execution at each standing-query count and
+// writes the machine-readable report to outPath. The run fails if any
+// differential check fails or if the incremental engine does not beat the
+// naive strategy by at least 5x update throughput at 1000 standing
+// queries — the scaling claim the engine exists for.
+func runSubscribe(countsCSV string, commuters, ticks int, outPath string) error {
+	counts, err := parseInts(countsCSV)
+	if err != nil {
+		return fmt.Errorf("bad -subcounts: %w", err)
+	}
+	fmt.Printf("Subscription benchmark: %d commuters, %d ticks, standing queries in %v\n",
+		commuters, ticks, counts)
+
+	type report struct {
+		Commuters  int                             `json:"commuters"`
+		Ticks      int                             `json:"ticks"`
+		GOMAXPROCS int                             `json:"gomaxprocs"`
+		Runs       []*harness.SubscribeBenchResult `json:"runs"`
+		Speedup1k  float64                         `json:"speedup_at_1k,omitempty"`
+	}
+	rep := report{Commuters: commuters, Ticks: ticks, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, s := range counts {
+		res, err := harness.RunSubscribeBench(harness.SubscribeBenchConfig{
+			Subs: s, Commuters: commuters, Ticks: ticks,
+		})
+		if err != nil {
+			return fmt.Errorf("subs=%d: %w", s, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		if s == 1000 {
+			rep.Speedup1k = res.Speedup
+		}
+		fmt.Printf("  subs=%-6d incremental %9.0f up/s   naive %9.0f up/s   speedup %7.1fx   (%d cert fires, differential: %s)\n",
+			s, res.IncrementalUPS, res.NaiveUPS, res.Speedup, res.CertFires, res.Differential)
+		if res.Differential != "ok" {
+			return fmt.Errorf("subs=%d: differential check failed: %s", s, res.Differential)
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	if rep.Speedup1k > 0 && rep.Speedup1k < 5 {
+		return fmt.Errorf("incremental speedup %.1fx at 1000 standing queries is below the 5x gate", rep.Speedup1k)
+	}
 	return nil
 }
 

@@ -19,7 +19,8 @@ var FloatEq = &Pass{
 	AppliesTo: func(path string) bool {
 		return pathHasSuffix(path, "internal/geom") ||
 			pathHasSuffix(path, "internal/dual") ||
-			pathHasSuffix(path, "internal/twod")
+			pathHasSuffix(path, "internal/twod") ||
+			pathHasSuffix(path, "internal/subscribe")
 	},
 	Run: runFloatEq,
 }

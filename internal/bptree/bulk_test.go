@@ -220,3 +220,64 @@ func TestRangeAppendMatchesRange(t *testing.T) {
 		}
 	}
 }
+
+// Ceil and Pred must agree with the decoding reference paths (a
+// first-hit Range for the successor, Floor for the predecessor) on
+// random probes, including probes below the minimum, above the maximum,
+// and after a deletion wave that empties leaf tails — the cases that
+// exercise Ceil's next-leaf hop and Pred's fallback descent.
+func TestCeilPredDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, codec := range []Codec{Wide, Compact} {
+		tr, _ := New(pager.NewMemStore(512), Config{Codec: codec})
+		live := make([]Entry, 0, 3000)
+		for i := 0; i < 3000; i++ {
+			e := Entry{Key: rng.Float64()*200 - 50, Val: uint64(i), Aux: rng.Float64()}
+			if err := tr.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, e)
+		}
+		check := func(stage string) {
+			for i := 0; i < 400; i++ {
+				key := rng.Float64()*320 - 110 // well past both ends
+				var wantC Entry
+				wantCok := false
+				if err := tr.Range(key, math.Inf(1), func(e Entry) bool {
+					wantC, wantCok = e, true
+					return false
+				}); err != nil {
+					t.Fatal(err)
+				}
+				gotC, okC, err := tr.Ceil(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if okC != wantCok || gotC != wantC {
+					t.Fatalf("codec=%v %s: Ceil(%v) = %+v,%v; reference %+v,%v",
+						codec, stage, key, gotC, okC, wantC, wantCok)
+				}
+				wantP, wantPok, err := tr.Floor(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotP, okP, err := tr.Pred(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if okP != wantPok || gotP != wantP {
+					t.Fatalf("codec=%v %s: Pred(%v) = %+v,%v; Floor %+v,%v",
+						codec, stage, key, gotP, okP, wantP, wantPok)
+				}
+			}
+		}
+		check("full")
+		rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		for _, e := range live[:2400] {
+			if err := tr.Delete(e.Key, e.Val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("after deletes")
+	}
+}

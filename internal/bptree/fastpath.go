@@ -166,6 +166,123 @@ func (t *Tree) Get(key float64, val uint64) (Entry, bool, error) {
 	return t.decodeEntry(d[headerSize+i*es : headerSize+(i+1)*es]), true, nil
 }
 
+// Ceil returns the smallest entry whose key is >= key, or ok=false when
+// every key is below it. One root-to-leaf descent over raw page images
+// (plus a next-leaf hop when the target leaf's tail was deleted): the
+// successor probe kinetic certificate scheduling leans on, zero-alloc
+// when the path is pool-resident.
+func (t *Tree) Ceil(key float64) (Entry, bool, error) {
+	key = t.codec.roundKey(key)
+	id, err := t.descendToLeaf(key, 0)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	for id != pager.NilPage {
+		d, err := pager.ViewBytes(t.store, id)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		count, err := t.checkImage(d, id, true)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		if i := t.imageLowerBound(d, count, key, 0); i < count {
+			es := t.codec.leafEntrySize()
+			return t.decodeEntry(d[headerSize+i*es : headerSize+(i+1)*es]), true, nil
+		}
+		id = pager.PageID(binary.LittleEndian.Uint32(d[4:8]))
+	}
+	return Entry{}, false, nil
+}
+
+// imageUpperBoundKey is the first leaf index whose key exceeds k.
+func (t *Tree) imageUpperBoundKey(d []byte, count int, k float64) int {
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ek, _ := t.leafKV(d, mid); ek <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Pred returns the entry with the largest (key, val) whose key is <= key,
+// or ok=false when every key exceeds it — Floor over raw page images, the
+// predecessor probe twin of Ceil. Leaves carry no back-pointers, so the
+// descent remembers the deepest left sibling subtree and walks its right
+// spine when the target leaf holds nothing at or below the key.
+func (t *Tree) Pred(key float64) (Entry, bool, error) {
+	key = t.codec.roundKey(key)
+	id := t.root
+	fallback := pager.NilPage
+	fallbackH := 0
+	for h := t.height; h > 1; h-- {
+		d, err := pager.ViewBytes(t.store, id)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		count, err := t.checkImage(d, id, false)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		ci := t.imageChildIndex(d, count, key, math.MaxUint64)
+		if ci > 0 {
+			fallback = t.childAt(d, ci-1)
+			fallbackH = h - 1
+		}
+		id = t.childAt(d, ci)
+		if id == pager.NilPage {
+			return Entry{}, false, fmt.Errorf("bptree: page %d: nil child pointer: %w", id, pager.ErrPageCorrupt)
+		}
+	}
+	d, err := pager.ViewBytes(t.store, id)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	count, err := t.checkImage(d, id, true)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if i := t.imageUpperBoundKey(d, count, key); i > 0 {
+		es := t.codec.leafEntrySize()
+		return t.decodeEntry(d[headerSize+(i-1)*es : headerSize+i*es]), true, nil
+	}
+	if fallback == pager.NilPage {
+		return Entry{}, false, nil
+	}
+	id = fallback
+	for h := fallbackH; h > 1; h-- {
+		d, err := pager.ViewBytes(t.store, id)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		count, err := t.checkImage(d, id, false)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		id = t.childAt(d, count)
+		if id == pager.NilPage {
+			return Entry{}, false, fmt.Errorf("bptree: page %d: nil child pointer: %w", id, pager.ErrPageCorrupt)
+		}
+	}
+	d, err = pager.ViewBytes(t.store, id)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	count, err = t.checkImage(d, id, true)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if count == 0 {
+		return Entry{}, false, nil
+	}
+	es := t.codec.leafEntrySize()
+	return t.decodeEntry(d[headerSize+(count-1)*es : headerSize+count*es]), true, nil
+}
+
 // RangeAppend appends every entry with lo <= key <= hi to dst, in (key,
 // val) order, and returns the extended slice. It is Range with a
 // caller-owned result buffer: when dst has capacity for the answer and

@@ -1,0 +1,311 @@
+// Subscription serving benchmark: the cost of keeping S standing queries
+// current while motion updates stream in. The incremental leg feeds the
+// updates through the subscription engine (dual-space query index +
+// kinetic certificates, internal/subscribe), which needs no object index
+// at all; the naive leg maintains the Dual-B+ index its strategy
+// requires, re-runs every standing query after every tick, and diffs
+// against its previous answers — the re-execution strawman the engine's
+// output-sensitivity is measured against. Both legs replay the identical
+// recorded geofence trace; each is timed over the steady-state tick loop
+// only, with its own setup (installing the standing queries, priming the
+// previous-answer sets) excluded, so the ratio compares the two serving
+// strategies' update throughput.
+
+package harness
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"time"
+
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+	"mobidx/internal/subscribe"
+	"mobidx/internal/workload"
+)
+
+// SubscribeBenchConfig sizes one subscription benchmark run.
+type SubscribeBenchConfig struct {
+	// Subs is the number of standing queries (0 selects 1000).
+	Subs int
+	// Commuters is the mobile-object population (0 selects 2000).
+	Commuters int
+	// Ticks is the trace length in time instants (0 selects 20).
+	Ticks int
+}
+
+// SubscribeBenchResult is one run's report.
+type SubscribeBenchResult struct {
+	Subs      int `json:"subs"`
+	Commuters int `json:"commuters"`
+	Ticks     int `json:"ticks"`
+	Ops       int `json:"motion_ops"`
+
+	IncrementalMs  float64 `json:"incremental_ms"`
+	NaiveMs        float64 `json:"naive_ms"`
+	IncrementalUPS float64 `json:"incremental_updates_per_sec"`
+	NaiveUPS       float64 `json:"naive_updates_per_sec"`
+	Speedup        float64 `json:"speedup"`
+
+	IncrementalDeltas int    `json:"incremental_deltas"`
+	NaiveDeltas       int    `json:"naive_deltas"`
+	CertFires         uint64 `json:"cert_fires"`
+	Differential      string `json:"differential"`
+}
+
+// subTrace is one recorded geofence scenario: the bootstrap batch plus
+// per-tick op batches, replayed identically into both legs.
+type subTrace struct {
+	fences    []workload.Geofence
+	terrain   dual.Terrain
+	bootstrap []subscribe.Op
+	ticks     [][]subscribe.Op
+	times     []float64
+	final     []dual.Motion // ground-truth motions after the last tick
+}
+
+func recordSubTrace(cfg SubscribeBenchConfig) (*subTrace, error) {
+	p := workload.DefaultGeofenceParams(cfg.Commuters, cfg.Subs)
+	// Alerting-style anticipation windows: short enough that a fence's
+	// swept region stays local (the workload default's 60-unit window
+	// sweeps a tenth of the terrain per query, which models long-horizon
+	// analytics rather than serving).
+	p.Windows = []float64{1, 3, 8}
+	sim, err := workload.NewGeofenceSim(p)
+	if err != nil {
+		return nil, err
+	}
+	tr := &subTrace{fences: sim.Fences(), terrain: p.Terrain}
+	var batch []subscribe.Op
+	feed := func(op workload.Op) error {
+		batch = append(batch, subscribe.Op{Insert: op.Insert, M: op.Motion})
+		return nil
+	}
+	if err := sim.Bootstrap(feed); err != nil {
+		return nil, err
+	}
+	tr.bootstrap = batch
+	for t := 0; t < cfg.Ticks; t++ {
+		batch = nil
+		if err := sim.Tick(feed); err != nil {
+			return nil, err
+		}
+		tr.ticks = append(tr.ticks, batch)
+		tr.times = append(tr.times, sim.Now())
+	}
+	tr.final = append([]dual.Motion(nil), sim.Motions()...)
+	return tr, nil
+}
+
+// RunSubscribeBench replays the trace through both legs and reports their
+// update throughput. Before returning, the two legs' final answer sets
+// are checked against each other and against brute force over the
+// simulator's final state; a mismatch is reported in Differential (and
+// the caller should treat the numbers as void).
+func RunSubscribeBench(cfg SubscribeBenchConfig) (*SubscribeBenchResult, error) {
+	if cfg.Subs <= 0 {
+		cfg.Subs = 1000
+	}
+	if cfg.Commuters <= 0 {
+		cfg.Commuters = 2000
+	}
+	if cfg.Ticks <= 0 {
+		cfg.Ticks = 20
+	}
+	trace, err := recordSubTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &SubscribeBenchResult{Subs: cfg.Subs, Commuters: cfg.Commuters, Ticks: cfg.Ticks}
+	for _, b := range trace.ticks {
+		res.Ops += len(b)
+	}
+
+	incSets, err := runIncrementalLeg(trace, res)
+	if err != nil {
+		return nil, fmt.Errorf("incremental leg: %w", err)
+	}
+	naiveSets, err := runNaiveLeg(trace, res)
+	if err != nil {
+		return nil, fmt.Errorf("naive leg: %w", err)
+	}
+
+	res.IncrementalUPS = float64(res.Ops) / (res.IncrementalMs / 1e3)
+	res.NaiveUPS = float64(res.Ops) / (res.NaiveMs / 1e3)
+	if res.IncrementalMs > 0 {
+		res.Speedup = res.NaiveMs / res.IncrementalMs
+	}
+
+	// Differential closeout: both legs and brute force must agree on every
+	// standing query's final answer set.
+	res.Differential = "ok"
+	now := trace.times[len(trace.times)-1]
+	for i, f := range trace.fences {
+		q := dual.MORQuery{Y1: f.Y1, Y2: f.Y2, T1: now, T2: now + f.Window}
+		var truth []dual.OID
+		for _, m := range trace.final {
+			if m.Matches(q) {
+				truth = append(truth, m.OID)
+			}
+		}
+		if !reflect.DeepEqual(incSets[i], truth) || !reflect.DeepEqual(naiveSets[i], truth) {
+			res.Differential = fmt.Sprintf(
+				"fence %d %+v: incremental %d members, naive %d, brute force %d",
+				i, f, len(incSets[i]), len(naiveSets[i]), len(truth))
+			break
+		}
+	}
+	return res, nil
+}
+
+// runIncrementalLeg serves the standing queries from the subscription
+// engine alone — no object index exists on this leg — and drains every
+// one each tick. Setup (bootstrap population, subscription install) runs
+// before the clock starts.
+func runIncrementalLeg(trace *subTrace, res *SubscribeBenchResult) ([][]dual.OID, error) {
+	eng, err := subscribe.New(subscribe.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	if err := eng.Apply(trace.bootstrap); err != nil {
+		return nil, err
+	}
+	ids := make([]subscribe.SubID, len(trace.fences))
+	for i, f := range trace.fences {
+		if ids[i], err = eng.Subscribe(f.Y1, f.Y2, f.Window); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		if _, err := eng.Drain(id); err != nil { // discard the initial answer sets
+			return nil, err
+		}
+	}
+
+	deltas := 0
+	start := time.Now()
+	for t, batch := range trace.ticks {
+		if err := eng.Advance(trace.times[t]); err != nil {
+			return nil, err
+		}
+		if err := eng.Apply(batch); err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			ds, err := eng.Drain(id)
+			if err != nil {
+				return nil, err
+			}
+			deltas += len(ds)
+		}
+	}
+	res.IncrementalMs = float64(time.Since(start).Microseconds()) / 1e3
+	res.IncrementalDeltas = deltas
+	res.CertFires = eng.Stats().CertFires
+
+	out := make([][]dual.OID, len(ids))
+	for i, id := range ids {
+		ms, err := eng.Members(id)
+		if err != nil {
+			return nil, err
+		}
+		if len(ms) == 0 {
+			ms = nil
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// runNaiveLeg maintains the Dual-B+ index re-execution depends on and,
+// after every tick, re-runs every standing query one-shot and diffs
+// against its previous answer — the strategy the engine replaces. Setup
+// (bootstrap load, priming the previous answers at t=0) runs before the
+// clock starts; the timed loop covers index maintenance plus the re-runs,
+// both intrinsic to this strategy's serving cost.
+func runNaiveLeg(trace *subTrace, res *SubscribeBenchResult) ([][]dual.OID, error) {
+	ix, err := core.NewDualBPlus(pager.NewMemStore(pager.DefaultPageSize),
+		core.DualBPlusConfig{Terrain: trace.terrain})
+	if err != nil {
+		return nil, err
+	}
+	exec := core.NewExecutor(0)
+	ctx := context.Background()
+
+	apply := func(ops []subscribe.Op) error {
+		for _, op := range ops {
+			if op.Insert {
+				err = ix.Insert(op.M)
+			} else {
+				err = ix.Delete(op.M)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := apply(trace.bootstrap); err != nil {
+		return nil, err
+	}
+	prev := make([]map[dual.OID]bool, len(trace.fences))
+	deltas := 0
+	rerun := func(now float64) error {
+		for i, f := range trace.fences {
+			q := dual.MORQuery{Y1: f.Y1, Y2: f.Y2, T1: now, T2: now + f.Window}
+			ans, err := ix.QueryParallelCtx(ctx, exec, q)
+			if err != nil {
+				return err
+			}
+			cur := make(map[dual.OID]bool, len(ans))
+			for _, oid := range ans {
+				cur[oid] = true
+				if !prev[i][oid] {
+					deltas++ // enter
+				}
+			}
+			for oid := range prev[i] {
+				if !cur[oid] {
+					deltas++ // leave
+				}
+			}
+			prev[i] = cur
+		}
+		return nil
+	}
+	if err := rerun(0); err != nil {
+		return nil, err
+	}
+	deltas = 0 // priming transitions are setup, not serving work
+	start := time.Now()
+	for t, batch := range trace.ticks {
+		if err := apply(batch); err != nil {
+			return nil, err
+		}
+		if err := rerun(trace.times[t]); err != nil {
+			return nil, err
+		}
+	}
+	res.NaiveMs = float64(time.Since(start).Microseconds()) / 1e3
+	res.NaiveDeltas = deltas
+
+	out := make([][]dual.OID, len(trace.fences))
+	for i, f := range trace.fences {
+		now := trace.times[len(trace.times)-1]
+		q := dual.MORQuery{Y1: f.Y1, Y2: f.Y2, T1: now, T2: now + f.Window}
+		ans, err := ix.QueryParallelCtx(ctx, exec, q)
+		if err != nil {
+			return nil, err
+		}
+		if len(ans) == 0 {
+			ans = nil
+		}
+		out[i] = ans
+	}
+	return out, nil
+}

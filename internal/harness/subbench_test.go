@@ -1,0 +1,24 @@
+package harness
+
+import "testing"
+
+// TestSubscribeBenchSmoke runs a miniature subscription benchmark and
+// checks the report is internally consistent and the legs agree.
+func TestSubscribeBenchSmoke(t *testing.T) {
+	res, err := RunSubscribeBench(SubscribeBenchConfig{Subs: 50, Commuters: 300, Ticks: 8})
+	if err != nil {
+		t.Fatalf("RunSubscribeBench: %v", err)
+	}
+	if res.Differential != "ok" {
+		t.Fatalf("differential: %s", res.Differential)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("trace carried no tick updates")
+	}
+	if res.IncrementalUPS <= 0 || res.NaiveUPS <= 0 {
+		t.Fatalf("non-positive throughput: inc %v naive %v", res.IncrementalUPS, res.NaiveUPS)
+	}
+	if res.IncrementalDeltas == 0 || res.NaiveDeltas == 0 {
+		t.Fatalf("inert trace: inc %d naive %d deltas", res.IncrementalDeltas, res.NaiveDeltas)
+	}
+}

@@ -1,0 +1,107 @@
+package kinetic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobidx/internal/dual"
+)
+
+func TestAgendaOrdering(t *testing.T) {
+	a := NewAgenda()
+	evs := []Event{
+		{Time: 3, OID: 1, Ver: 1},
+		{Time: 1, OID: 9, Ver: 2},
+		{Time: 1, OID: 2, Ver: 7},
+		{Time: 1, OID: 2, Ver: 3},
+		{Time: 2, OID: 5, Ver: 1},
+	}
+	for _, ev := range evs {
+		a.Push(ev)
+	}
+	want := []Event{
+		{Time: 1, OID: 2, Ver: 3},
+		{Time: 1, OID: 2, Ver: 7},
+		{Time: 1, OID: 9, Ver: 2},
+		{Time: 2, OID: 5, Ver: 1},
+		{Time: 3, OID: 1, Ver: 1},
+	}
+	for i, w := range want {
+		ev, ok := a.PopDue(10)
+		if !ok || ev != w {
+			t.Fatalf("pop %d: got %v ok=%v, want %v", i, ev, ok, w)
+		}
+	}
+	if _, ok := a.PopDue(10); ok {
+		t.Fatalf("pop from empty agenda succeeded")
+	}
+}
+
+func TestAgendaPopDueRespectsNow(t *testing.T) {
+	a := NewAgenda()
+	a.Push(Event{Time: 5, OID: 1})
+	a.Push(Event{Time: 2, OID: 2})
+	if ev, ok := a.PopDue(3); !ok || ev.OID != 2 {
+		t.Fatalf("got %v ok=%v, want OID 2", ev, ok)
+	}
+	if ev, ok := a.PopDue(3); ok {
+		t.Fatalf("popped future event %v", ev)
+	}
+	if ev, ok := a.Min(); !ok || ev.OID != 1 {
+		t.Fatalf("min: got %v ok=%v", ev, ok)
+	}
+	if ev, ok := a.PopDue(5); !ok || ev.OID != 1 {
+		t.Fatalf("got %v ok=%v, want OID 1", ev, ok)
+	}
+}
+
+func TestAgendaRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := NewAgenda()
+	var ref []Event
+	for i := 0; i < 500; i++ {
+		ev := Event{
+			Time: float64(rng.Intn(50)),
+			OID:  dual.OID(rng.Intn(20)),
+			Ver:  uint64(rng.Intn(5)),
+		}
+		a.Push(ev)
+		ref = append(ref, ev)
+	}
+	sort.Slice(ref, func(i, j int) bool { return eventLess(ref[i], ref[j]) })
+	for i, w := range ref {
+		ev, ok := a.PopDue(1e9)
+		if !ok || ev != w {
+			t.Fatalf("pop %d: got %v ok=%v, want %v", i, ev, ok, w)
+		}
+	}
+	if a.Len() != 0 {
+		t.Fatalf("agenda not drained: %d left", a.Len())
+	}
+}
+
+func TestAgendaCompact(t *testing.T) {
+	a := NewAgenda()
+	for i := 0; i < 100; i++ {
+		a.Push(Event{Time: float64(i), OID: dual.OID(i), Ver: uint64(i % 2)})
+	}
+	a.Compact(func(ev Event) bool { return ev.Ver == 1 })
+	if a.Len() != 50 {
+		t.Fatalf("compact kept %d, want 50", a.Len())
+	}
+	prev := -1.0
+	for {
+		ev, ok := a.PopDue(1e9)
+		if !ok {
+			break
+		}
+		if ev.Ver != 1 {
+			t.Fatalf("stale event survived compact: %v", ev)
+		}
+		if ev.Time < prev {
+			t.Fatalf("heap order broken after compact: %v after %v", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+}

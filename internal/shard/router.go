@@ -205,6 +205,10 @@ type Router struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// Continuous-query state (see subrouter.go), created on first use.
+	subOnce  sync.Once
+	subState *subState
+
 	stQueries      atomic.Int64
 	stShardCalls   atomic.Int64
 	stRetries      atomic.Int64

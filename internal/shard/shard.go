@@ -10,6 +10,7 @@ import (
 	"mobidx/internal/core"
 	"mobidx/internal/dual"
 	"mobidx/internal/pager"
+	"mobidx/internal/subscribe"
 )
 
 // Op is one motion mutation: an insert of a new motion or a delete of a
@@ -87,6 +88,13 @@ type Shard struct {
 	sb    *chain         // superblock page chain
 	cat   *catalog       // durable motion log
 
+	// subs is the shard's continuous-query matcher: standing queries over
+	// exactly the motions this shard holds (replicas included — the router
+	// deduplicates). It is serving state, not durable state: Open re-seeds
+	// it from the catalog, BulkLoad resets it, and a failed feed only
+	// disables the subscription path (subErr), never the index.
+	subs *subscribe.Engine
+
 	mu sync.RWMutex // serving latch: Query RLock, Apply/BulkLoad Lock
 
 	stateMu     sync.Mutex
@@ -94,6 +102,7 @@ type Shard struct {
 	lastErr     error
 	quarantined bool
 	closed      bool
+	subErr      error // first subscription-feed failure; sticky
 }
 
 // New builds a shard with a fresh in-memory store and WAL.
@@ -155,8 +164,21 @@ func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) 
 			return nil, fmt.Errorf("shard %d: catalog holds %d live motions, index %d: %w",
 				cfg.ID, cat.live, ix.Len(), pager.ErrPageCorrupt)
 		}
+		eng, err := subscribe.New(subscribe.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: subscription engine: %w", cfg.ID, err)
+		}
+		// Re-seed the matcher from the durable catalog: the recovered shard
+		// answers new subscriptions over exactly the motions it serves.
+		ms, err := cat.motions()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: read catalog: %w", cfg.ID, err)
+		}
+		if err := eng.Reset(ms); err != nil {
+			return nil, fmt.Errorf("shard %d: seed subscriptions: %w", cfg.ID, err)
+		}
 		return &Shard{id: cfg.ID, wal: wal, store: store, ix: ix,
-			exec: core.NewExecutor(1), sb: sb, cat: cat}, nil
+			exec: core.NewExecutor(1), sb: sb, cat: cat, subs: eng}, nil
 
 	case errors.Is(err, errChainNotFound):
 		// Fresh media: initialize superblock and catalog in one batch.
@@ -164,7 +186,12 @@ func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) 
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: create index: %w", cfg.ID, err)
 		}
-		s := &Shard{id: cfg.ID, wal: wal, store: store, ix: ix, exec: core.NewExecutor(1)}
+		eng, err := subscribe.New(subscribe.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: subscription engine: %w", cfg.ID, err)
+		}
+		s := &Shard{id: cfg.ID, wal: wal, store: store, ix: ix,
+			exec: core.NewExecutor(1), subs: eng}
 		err = pager.RunBatch(store, func() error {
 			sbc, cerr := initChain(store, sbMagic)
 			if cerr != nil {
@@ -315,6 +342,20 @@ func (s *Shard) Apply(ctx context.Context, ops []Op) error {
 	if err != nil && !ctxOnly {
 		s.quarantine(err)
 	}
+	if err == nil {
+		// The batch committed; feed the standing-query matcher (still under
+		// the write latch, so subscription state tracks the index exactly).
+		// A feed failure is a subscription-path failure only: the durable
+		// state is fine, so the shard keeps serving queries and writes, and
+		// subscription calls report the sticky subErr instead.
+		sops := make([]subscribe.Op, len(ops))
+		for i, op := range ops {
+			sops[i] = subscribe.Op{Insert: op.Insert, M: op.M}
+		}
+		if ferr := s.subs.Apply(sops); ferr != nil {
+			s.failSubs(ferr)
+		}
+	}
 	s.observe(err)
 	return err
 }
@@ -342,6 +383,13 @@ func (s *Shard) BulkLoad(ctx context.Context, ms []dual.Motion) error {
 	})
 	if err != nil {
 		s.quarantine(err)
+	}
+	if err == nil {
+		// Contents replaced atomically; the matcher resets to match,
+		// emitting the net membership transitions.
+		if ferr := s.subs.Reset(ms); ferr != nil {
+			s.failSubs(ferr)
+		}
 	}
 	s.observe(err)
 	return err
@@ -380,6 +428,72 @@ func (s *Shard) quarantine(cause error) {
 	s.stateMu.Unlock()
 }
 
+// failSubs records the first subscription-feed failure; the subscription
+// path refuses work from then on (the index path is unaffected).
+func (s *Shard) failSubs(cause error) {
+	s.stateMu.Lock()
+	if s.subErr == nil {
+		s.subErr = fmt.Errorf("shard %d: subscription feed: %w", s.id, cause)
+	}
+	s.stateMu.Unlock()
+}
+
+// subsDown gates the subscription path: the shard must be serving and the
+// matcher must not have fallen behind the index.
+func (s *Shard) subsDown() error {
+	if err := s.down(); err != nil {
+		return err
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.subErr
+}
+
+// Subscribe registers a standing query [y1, y2] with the given sliding
+// window against this shard's partition; the current per-shard answer set
+// arrives as Enter deltas (see subscribe.Engine.Subscribe).
+func (s *Shard) Subscribe(y1, y2, window float64) (subscribe.SubID, error) {
+	if err := s.subsDown(); err != nil {
+		return 0, err
+	}
+	return s.subs.Subscribe(y1, y2, window)
+}
+
+// Unsubscribe tears a shard-level standing query down.
+func (s *Shard) Unsubscribe(id subscribe.SubID) error {
+	if err := s.subsDown(); err != nil {
+		return err
+	}
+	return s.subs.Unsubscribe(id)
+}
+
+// AdvanceSubs moves the shard's subscription clock to now, firing kinetic
+// boundary crossings (see subscribe.Engine.Advance).
+func (s *Shard) AdvanceSubs(now float64) error {
+	if err := s.subsDown(); err != nil {
+		return err
+	}
+	return s.subs.Advance(now)
+}
+
+// DrainSubs returns a shard-level subscription's accumulated deltas in
+// emission order.
+func (s *Shard) DrainSubs(id subscribe.SubID) ([]subscribe.Delta, error) {
+	if err := s.subsDown(); err != nil {
+		return nil, err
+	}
+	return s.subs.Drain(id)
+}
+
+// SubMembers returns a shard-level subscription's current answer set over
+// this shard's partition, sorted.
+func (s *Shard) SubMembers(id subscribe.SubID) ([]dual.OID, error) {
+	if err := s.subsDown(); err != nil {
+		return nil, err
+	}
+	return s.subs.Members(id)
+}
+
 // Close shuts the shard down; further operations fail with ErrShardDown.
 func (s *Shard) Close() error {
 	s.stateMu.Lock()
@@ -391,5 +505,5 @@ func (s *Shard) Close() error {
 	s.stateMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.wal.Close()
+	return errors.Join(s.subs.Close(), s.wal.Close())
 }

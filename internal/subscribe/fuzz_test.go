@@ -1,0 +1,205 @@
+package subscribe
+
+import (
+	"math"
+	"testing"
+
+	"mobidx/internal/dual"
+)
+
+// sanitizeCoord folds an arbitrary fuzzed float into a finite coordinate
+// of workload-like magnitude, keeping enough range to stress the slack
+// arithmetic (positions far outside the terrain, huge windows).
+func sanitizeCoord(x, scale float64) (float64, bool) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, false
+	}
+	return math.Mod(x, scale), true
+}
+
+// FuzzMatcher cross-checks the engine's dual-space query↔motion matcher
+// against brute-force geometry. The engine's verdict must equal
+// dual.Motion.Matches exactly, always — the stab probes are candidate
+// filters and any miss is a bug, so no boundary tolerance is allowed
+// there. Matches itself is compared against the swept-interval geometry
+// away from its ±Eps decision boundary.
+func FuzzMatcher(f *testing.F) {
+	f.Add(100.0, 10.0, 20.0, 0.0, 0.0, 1.0, 5.0)
+	f.Add(100.0, 10.0, 0.0, 105.0, 0.0, 0.0, 0.0)
+	f.Add(500.0, 1.0, 60.0, 999.0, -3.0, -1.5, 17.0)
+	f.Add(0.0, 1000.0, 1e6, -4000.0, 100.0, 0.05, 2000.0)
+	f.Fuzz(func(t *testing.T, y1, width, window, y0, t0, v, dt float64) {
+		var ok bool
+		if y1, ok = sanitizeCoord(y1, 1e4); !ok {
+			return
+		}
+		if width, ok = sanitizeCoord(width, 1e4); !ok {
+			return
+		}
+		if window, ok = sanitizeCoord(window, 1e7); !ok {
+			return
+		}
+		if y0, ok = sanitizeCoord(y0, 1e5); !ok {
+			return
+		}
+		if t0, ok = sanitizeCoord(t0, 1e4); !ok {
+			return
+		}
+		if v, ok = sanitizeCoord(v, 1e2); !ok {
+			return
+		}
+		if dt, ok = sanitizeCoord(dt, 1e4); !ok {
+			return
+		}
+		y2 := y1 + math.Abs(width)
+		window = math.Abs(window)
+		now := math.Abs(dt)
+		m := dual.Motion{OID: 1, Y0: y0, T0: t0, V: v}
+		q := dual.MORQuery{Y1: y1, Y2: y2, T1: now, T2: now + window}
+
+		e, err := New(Config{Start: now})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer func() {
+			if cerr := e.Close(); cerr != nil {
+				t.Fatalf("Close: %v", cerr)
+			}
+		}()
+		id, err := e.Subscribe(y1, y2, window)
+		if err != nil {
+			t.Fatalf("Subscribe(%v,%v,%v): %v", y1, y2, window, err)
+		}
+		if err := e.Apply([]Op{{Insert: true, M: m}}); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		members, err := e.Members(id)
+		if err != nil {
+			t.Fatalf("Members: %v", err)
+		}
+		verdict := len(members) == 1
+		want := m.Matches(q)
+		if verdict != want {
+			t.Fatalf("matcher verdict %v != Matches %v for motion %+v query %+v",
+				verdict, want, m, q)
+		}
+		// Insert-before-subscribe must agree with subscribe-before-insert.
+		e2, err := New(Config{Start: now})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer func() {
+			if cerr := e2.Close(); cerr != nil {
+				t.Fatalf("Close: %v", cerr)
+			}
+		}()
+		if err := e2.Apply([]Op{{Insert: true, M: m}}); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		id2, err := e2.Subscribe(y1, y2, window)
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		members2, err := e2.Members(id2)
+		if err != nil {
+			t.Fatalf("Members: %v", err)
+		}
+		if (len(members2) == 1) != want {
+			t.Fatalf("subscribe-time matcher %v != Matches %v for motion %+v query %+v",
+				len(members2) == 1, want, m, q)
+		}
+
+		// Brute-force geometry: the motion is in the answer iff the
+		// position interval swept over [T1, T2] intersects [Y1, Y2].
+		// Checked only away from the predicate's ±Eps boundary.
+		ya := m.At(q.T1)
+		yb := m.At(q.T2)
+		lo, hi := math.Min(ya, yb), math.Max(ya, yb)
+		overlap := math.Min(hi, y2) - math.Max(lo, y1)
+		margin := 1e-6 * (1 + math.Abs(lo) + math.Abs(hi) + math.Abs(y1) + math.Abs(y2))
+		if math.Abs(overlap) < margin {
+			return
+		}
+		if brute := overlap > 0; brute != want {
+			t.Fatalf("brute-force geometry %v != Matches %v for motion %+v query %+v (overlap %v)",
+				brute, want, m, q, overlap)
+		}
+	})
+}
+
+// FuzzKineticBoundary drives a motion past a fuzzed fence purely by
+// Advance and asserts the engine's membership at a far checkpoint equals
+// the one-shot answer: certificates may fire early or spuriously, but a
+// boundary crossing must never be missed.
+func FuzzKineticBoundary(f *testing.F) {
+	f.Add(100.0, 10.0, 20.0, 0.0, 1.0, 50.0)
+	f.Add(300.0, 5.0, 0.0, 600.0, -0.5, 400.0)
+	f.Fuzz(func(t *testing.T, y1, width, window, y0, v, horizon float64) {
+		var ok bool
+		if y1, ok = sanitizeCoord(y1, 1e3); !ok {
+			return
+		}
+		if width, ok = sanitizeCoord(width, 1e2); !ok {
+			return
+		}
+		if window, ok = sanitizeCoord(window, 1e2); !ok {
+			return
+		}
+		if y0, ok = sanitizeCoord(y0, 1e3); !ok {
+			return
+		}
+		if v, ok = sanitizeCoord(v, 4); !ok {
+			return
+		}
+		if horizon, ok = sanitizeCoord(horizon, 1e3); !ok {
+			return
+		}
+		y2 := y1 + math.Abs(width)
+		window = math.Abs(window)
+		m := dual.Motion{OID: 1, Y0: y0, T0: 0, V: v}
+
+		e, err := New(Config{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer func() {
+			if cerr := e.Close(); cerr != nil {
+				t.Fatalf("Close: %v", cerr)
+			}
+		}()
+		if err := e.Apply([]Op{{Insert: true, M: m}}); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		id, err := e.Subscribe(y1, y2, window)
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		// Advance in a few uneven hops; at each checkpoint membership
+		// must equal the one-shot answer at that time.
+		steps := []float64{0.19, 0.41, 0.67, 1}
+		for _, frac := range steps {
+			now := math.Abs(horizon) * frac
+			if err := e.Advance(now); err != nil {
+				t.Fatalf("Advance(%v): %v", now, err)
+			}
+			members, merr := e.Members(id)
+			if merr != nil {
+				t.Fatalf("Members: %v", merr)
+			}
+			want := m.Matches(dual.MORQuery{Y1: y1, Y2: y2, T1: now, T2: now + window})
+			// The predicate's own ±Eps time slack makes verdicts within
+			// Eps of a boundary legitimately ambiguous between the
+			// certificate path and the direct call; skip only that band.
+			tol := 1e-6 * (1 + math.Abs(now))
+			flipA := m.Matches(dual.MORQuery{Y1: y1, Y2: y2, T1: now - tol, T2: now + window - tol})
+			flipB := m.Matches(dual.MORQuery{Y1: y1, Y2: y2, T1: now + tol, T2: now + window + tol})
+			if flipA != flipB {
+				continue
+			}
+			if got := len(members) == 1; got != want {
+				t.Fatalf("kinetic membership %v != one-shot %v at now=%v for motion %+v fence [%v,%v] w=%v",
+					got, want, now, m, y1, y2, window)
+			}
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package subscribe
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mobidx/internal/dual"
+	"mobidx/internal/leakcheck"
+)
+
+// storm starts n goroutines hammering the engine with motion updates
+// until stop is closed; errors other than ErrClosed fail the test.
+func storm(t *testing.T, e *Engine, n int, stop <-chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := dual.Motion{
+					OID: dual.OID(g*1000 + i%50),
+					Y0:  rng.Float64() * 1000,
+					T0:  0,
+					V:   rng.Float64()*3 - 1.5,
+				}
+				if err := e.Apply([]Op{{Insert: true, M: m}}); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("storm Apply: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+}
+
+// TestUnsubscribeUnderStorm tears subscriptions down while updates pour
+// in: after Unsubscribe returns, the dead subscription must never see
+// another delta, its stream must be closed, and nothing may leak.
+func TestUnsubscribeUnderStorm(t *testing.T) {
+	leakcheck.Check(t)
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	storm(t, e, 4, stop, &wg)
+
+	for round := 0; round < 40; round++ {
+		id, ch, serr := e.SubscribeStream(float64(round%10)*100, float64(round%10)*100+200, 20, 64)
+		if serr != nil {
+			t.Fatalf("SubscribeStream: %v", serr)
+		}
+		// Let a few deltas flow, then kill the subscription.
+		if _, derr := e.Drain(id); derr != nil {
+			t.Fatalf("Drain: %v", derr)
+		}
+		if uerr := e.Unsubscribe(id); uerr != nil {
+			t.Fatalf("Unsubscribe: %v", uerr)
+		}
+		// The channel must be closed; consuming it to the end proves no
+		// sender touches it afterwards (a send on closed would panic in
+		// the updater goroutines and fail the race build immediately).
+		for range ch {
+			continue
+		}
+		if _, derr := e.Drain(id); !errors.Is(derr, ErrUnknownSub) {
+			t.Fatalf("Drain after Unsubscribe: %v, want ErrUnknownSub", derr)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseUnderStorm closes the engine while updaters, an advancer and
+// drainers are all live: every goroutine must observe ErrClosed and
+// exit, every stream channel must close, and no delta may be emitted
+// after Close returns.
+func TestCloseUnderStorm(t *testing.T) {
+	leakcheck.Check(t)
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	storm(t, e, 4, stop, &wg)
+
+	var subs []SubID
+	var chans []<-chan Delta
+	for i := 0; i < 8; i++ {
+		id, ch, serr := e.SubscribeStream(float64(i)*100, float64(i)*100+150, 10, 32)
+		if serr != nil {
+			t.Fatalf("SubscribeStream: %v", serr)
+		}
+		subs = append(subs, id)
+		chans = append(chans, ch)
+	}
+	// An advancer with monotone time and drainers riding the storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for now := 1.0; ; now++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if aerr := e.Advance(now); aerr != nil {
+				if errors.Is(aerr, ErrClosed) {
+					return
+				}
+				t.Errorf("Advance: %v", aerr)
+				return
+			}
+		}
+	}()
+	for _, id := range subs[:4] {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, derr := e.Drain(id); derr != nil {
+					if errors.Is(derr, ErrClosed) {
+						return
+					}
+					t.Errorf("Drain: %v", derr)
+					return
+				}
+			}
+		}()
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close every channel must be closed — the ranges terminate —
+	// and no goroutine can still emit (senders see ErrClosed). Deltas
+	// delivered before the close are fine; the loop just drains them.
+	for _, ch := range chans {
+		for range ch {
+			continue
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Apply(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubscribeStress interleaves subscribe, unsubscribe,
+// updates, advances and drains from many goroutines — the race-gated
+// stage of verify.sh runs this under -race — then quiesces and checks
+// the surviving subscriptions' member sets against brute force over the
+// engine's own tracked motions.
+func TestConcurrentSubscribeStress(t *testing.T) {
+	leakcheck.Check(t)
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		if cerr := e.Close(); cerr != nil {
+			t.Fatalf("Close: %v", cerr)
+		}
+	}()
+
+	stop := make(chan struct{})
+	var bg, wg sync.WaitGroup
+	storm(t, e, 3, stop, &bg)
+
+	var mu sync.Mutex
+	liveSubs := make(map[SubID]struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			var mine []SubID
+			for i := 0; i < 200; i++ {
+				if len(mine) > 0 && rng.Intn(3) == 0 {
+					id := mine[rng.Intn(len(mine))]
+					if uerr := e.Unsubscribe(id); uerr != nil && !errors.Is(uerr, ErrUnknownSub) {
+						t.Errorf("Unsubscribe: %v", uerr)
+						return
+					}
+					mu.Lock()
+					delete(liveSubs, id)
+					mu.Unlock()
+					continue
+				}
+				y1 := rng.Float64() * 900
+				id, serr := e.Subscribe(y1, y1+rng.Float64()*100, float64(rng.Intn(3)*10))
+				if serr != nil {
+					t.Errorf("Subscribe: %v", serr)
+					return
+				}
+				mine = append(mine, id)
+				mu.Lock()
+				liveSubs[id] = struct{}{}
+				mu.Unlock()
+				if rng.Intn(2) == 0 {
+					if _, derr := e.Drain(id); derr != nil && !errors.Is(derr, ErrUnknownSub) {
+						t.Errorf("Drain: %v", derr)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for now := 1.0; ; now += 0.5 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if aerr := e.Advance(now); aerr != nil {
+				t.Errorf("Advance: %v", aerr)
+				return
+			}
+		}
+	}()
+
+	// The subscriber goroutines bound the test; then stop the storm and
+	// the advancer before inspecting quiesced state.
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+
+	// Quiesced: every surviving subscription's member set must equal
+	// brute force against the engine's tracked motions at engine time.
+	e.mu.Lock()
+	motions := make([]dual.Motion, 0, len(e.objects))
+	for _, o := range e.objects {
+		motions = append(motions, o.m)
+	}
+	now := e.now
+	e.mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	for id := range liveSubs {
+		got, merr := e.Members(id)
+		if merr != nil {
+			t.Fatalf("Members(%d): %v", id, merr)
+		}
+		e.mu.Lock()
+		s := e.subs[id]
+		q := dual.MORQuery{Y1: s.y1, Y2: s.y2, T1: now, T2: now + s.class.w}
+		e.mu.Unlock()
+		want := make(map[dual.OID]bool)
+		for _, m := range motions {
+			if m.Matches(q) {
+				want[m.OID] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("sub %d: %d members, brute force %d", id, len(got), len(want))
+		}
+		for _, oid := range got {
+			if !want[oid] {
+				t.Fatalf("sub %d: spurious member %d", id, oid)
+			}
+		}
+	}
+}

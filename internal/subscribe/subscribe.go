@@ -1,0 +1,623 @@
+// Package subscribe is the continuous-query engine: standing MOR queries
+// over the live stream of motion updates, maintained incrementally.
+//
+// A standing query ("subscription") is a spatial range [Y1, Y2] watched
+// through a sliding time window: at engine time t it asks the MOR query
+// [Y1, Y2] × [t, t+W]. The dual transform of §3.2 makes such a query a
+// region in dual space, so the queries themselves are indexable: the
+// engine stores every subscription in per-window-length B+-trees keyed by
+// its range endpoints (the query-region structure), and a motion update
+// probes those trees to find exactly the subscriptions whose answer can
+// have changed — nothing is re-executed. Membership deltas are emitted as
+// typed enter/leave events.
+//
+// Between updates, membership still changes as objects move across
+// standing-query window boundaries. Those instants are kinetic events
+// (internal/kinetic): for each object the engine keeps one certificate —
+// the earliest future time at which the object can cross the nearest
+// boundary of any standing query, found by successor/predecessor probes
+// on the query trees — and Advance fires due certificates, re-evaluates
+// only the affected object, and re-arms. Event volume is therefore
+// output-sensitive: no boundary crossings, no work.
+//
+// The exact membership authority is always dual.Motion.Matches on the
+// original motion; tree probes are candidate filters with conservative
+// slack. That makes the engine's accumulated deltas reconstruct, at every
+// checkpoint (after Apply or Advance), byte-identically the answer of
+// re-running each standing query one-shot — the property the differential
+// oracle suite asserts.
+//
+// The engine is a passive state machine guarded by one mutex: it owns no
+// goroutines, so Close can never leak, and delta emission order is
+// deterministic (affected subscriptions in SubID order per re-evaluation,
+// certificate events in agenda order). Subscriptions are serving-side
+// state, not durable state: the query trees live on a private in-memory
+// store, and a recovered or bulk-reloaded shard re-seeds its engine via
+// Reset.
+package subscribe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/dual"
+	"mobidx/internal/kinetic"
+	"mobidx/internal/pager"
+)
+
+// SubID identifies a subscription within one engine.
+type SubID uint64
+
+// Kind is the type of a membership delta.
+type Kind uint8
+
+const (
+	// Enter reports an object joining a subscription's answer set.
+	Enter Kind = iota + 1
+	// Leave reports an object dropping out of it.
+	Leave
+)
+
+// String returns the delta kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Enter:
+		return "enter"
+	case Leave:
+		return "leave"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Delta is one membership transition of one subscription's answer set.
+// Applying a drained delta sequence to a set, in order, reproduces the
+// subscription's current one-shot answer.
+type Delta struct {
+	Seq  uint64   // engine-wide emission counter, strictly increasing
+	Time float64  // engine time at emission
+	Sub  SubID    // the subscription whose answer changed
+	OID  dual.OID // the object that entered or left
+	Kind Kind
+}
+
+// Op is one motion mutation, in the repository's usual delete+insert
+// update convention.
+type Op struct {
+	Insert bool
+	M      dual.Motion
+}
+
+// Config configures an engine. The query trees always use the exact
+// Wide record codec: the stab filters assume unrounded keys.
+type Config struct {
+	// PageSize is the private query-store page size (0 selects
+	// pager.DefaultPageSize).
+	PageSize int
+	// Start is the initial engine time (0 for fresh scenarios).
+	Start float64
+}
+
+// Stats counts engine work, for benchmarks and tuning.
+type Stats struct {
+	Updates     uint64 // motion upserts processed
+	Removes     uint64 // motion deletions processed
+	CertFires   uint64 // kinetic certificates fired by Advance
+	StaleEvents uint64 // agenda events skipped as invalidated
+	Emitted     uint64 // deltas emitted across all subscriptions
+	Candidates  uint64 // subscription candidates scanned by tree probes
+	Compactions uint64 // agenda compactions
+	Dropped     uint64 // stream deltas dropped on full channels
+}
+
+// ErrClosed reports use of a closed engine.
+var ErrClosed = errors.New("subscribe: engine closed")
+
+// ErrUnknownSub reports an operation on a subscription that does not
+// exist (never created, or already unsubscribed).
+var ErrUnknownSub = errors.New("subscribe: unknown subscription")
+
+// object is the engine's view of one mobile object.
+type object struct {
+	m        dual.Motion
+	member   map[SubID]struct{} // subscriptions currently containing it
+	certTime float64            // scheduled certificate time (+Inf: none)
+	certVer  uint64             // stamp of the one live agenda event
+}
+
+// sub is one standing query.
+type sub struct {
+	id      SubID
+	y1, y2  float64
+	class   *windowClass
+	members map[dual.OID]struct{}
+	buf     []Delta    // transitions since the last Drain
+	ch      chan Delta // optional stream view (nil: drain-only)
+}
+
+// Engine maintains standing queries over a stream of motion updates.
+type Engine struct {
+	mu      sync.Mutex
+	store   pager.Store // private in-memory store for the query trees
+	objects map[dual.OID]*object
+	classes map[uint64]*windowClass // keyed by math.Float64bits(window)
+	subs    map[SubID]*sub
+	agenda  *kinetic.Agenda
+	now     float64
+	nextSub SubID
+	seq     uint64
+	stats   Stats
+	closed  bool
+
+	// Re-evaluation scratch, reused across calls under mu: the match
+	// path runs once per update and once per certificate fire, so its
+	// buffers must not allocate in steady state.
+	scanBuf  []bptree.Entry     // stab-scan result buffer (RangeAppend dst)
+	hitSet   map[SubID]struct{} // matchSet result, valid until next matchSet
+	leaveBuf []SubID
+	enterBuf []SubID
+}
+
+// New builds an empty engine.
+func New(cfg Config) (*Engine, error) {
+	if math.IsNaN(cfg.Start) || math.IsInf(cfg.Start, 0) {
+		return nil, fmt.Errorf("subscribe: non-finite start time %v", cfg.Start)
+	}
+	pageSize := cfg.PageSize
+	if pageSize <= 0 {
+		pageSize = pager.DefaultPageSize
+	}
+	return &Engine{
+		store:   pager.NewMemStore(pageSize),
+		objects: make(map[dual.OID]*object),
+		classes: make(map[uint64]*windowClass),
+		subs:    make(map[SubID]*sub),
+		agenda:  kinetic.NewAgenda(),
+		now:     cfg.Start,
+		hitSet:  make(map[SubID]struct{}),
+	}, nil
+}
+
+// Now returns the engine time.
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Objects returns the number of tracked motions.
+func (e *Engine) Objects() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.objects)
+}
+
+// Subs returns the number of standing queries.
+func (e *Engine) Subs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.subs)
+}
+
+// Stats returns a snapshot of the work counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func validMotion(m dual.Motion) error {
+	if math.IsNaN(m.Y0) || math.IsInf(m.Y0, 0) ||
+		math.IsNaN(m.T0) || math.IsInf(m.T0, 0) ||
+		math.IsNaN(m.V) || math.IsInf(m.V, 0) {
+		return fmt.Errorf("subscribe: non-finite motion %+v", m)
+	}
+	return nil
+}
+
+// Subscribe registers the standing query [y1, y2] watched through a
+// sliding window of the given length, returning its id. The current
+// answer set is delivered immediately as Enter deltas, so a drain-built
+// set is complete from the first delta on.
+func (e *Engine) Subscribe(y1, y2, window float64) (SubID, error) {
+	id, _, err := e.subscribe(y1, y2, window, -1)
+	return id, err
+}
+
+// SubscribeStream is Subscribe with a live channel view of the deltas,
+// buffered to buf. The channel is best-effort: when it is full, deltas
+// are dropped from the channel (counted in Stats.Dropped) but never from
+// Drain, which stays exact. The channel is closed by Unsubscribe and by
+// Close; nothing is sent after either.
+func (e *Engine) SubscribeStream(y1, y2, window float64, buf int) (SubID, <-chan Delta, error) {
+	if buf < 0 {
+		buf = 0
+	}
+	return e.subscribe(y1, y2, window, buf)
+}
+
+func (e *Engine) subscribe(y1, y2, window float64, buf int) (SubID, <-chan Delta, error) {
+	if math.IsNaN(y1) || math.IsInf(y1, 0) || math.IsNaN(y2) || math.IsInf(y2, 0) ||
+		math.IsNaN(window) || math.IsInf(window, 0) {
+		return 0, nil, fmt.Errorf("subscribe: non-finite range [%v,%v] window %v", y1, y2, window)
+	}
+	if y2 < y1 {
+		return 0, nil, fmt.Errorf("subscribe: inverted range [%v,%v]", y1, y2)
+	}
+	if window < 0 {
+		return 0, nil, fmt.Errorf("subscribe: negative window %v", window)
+	}
+	if math.Signbit(window) {
+		window = 0 // fold -0 into the +0 window class
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, nil, ErrClosed
+	}
+	cl, err := e.classFor(window)
+	if err != nil {
+		return 0, nil, err
+	}
+	e.nextSub++
+	id := e.nextSub
+	if err := cl.byY1.Insert(bptree.Entry{Key: y1, Val: uint64(id), Aux: y2}); err != nil {
+		return 0, nil, fmt.Errorf("subscribe: index query: %w", err)
+	}
+	if err := cl.byY2.Insert(bptree.Entry{Key: y2, Val: uint64(id), Aux: y1}); err != nil {
+		return 0, nil, fmt.Errorf("subscribe: index query: %w", err)
+	}
+	cl.count++
+	if y2-y1 > cl.maxWidth {
+		cl.maxWidth = y2 - y1
+	}
+	s := &sub{id: id, y1: y1, y2: y2, class: cl, members: make(map[dual.OID]struct{})}
+	if buf >= 0 {
+		s.ch = make(chan Delta, buf)
+	}
+	e.subs[id] = s
+
+	// Initial answer set and certificate promotion, in OID order: every
+	// current member enters, and any object whose boundary against the
+	// new query precedes its scheduled certificate gets an earlier one —
+	// without this, a crossing of the new query's edges before the next
+	// unrelated event would be missed.
+	q := dual.MORQuery{Y1: y1, Y2: y2, T1: e.now, T2: e.now + window}
+	oids := make([]dual.OID, 0, len(e.objects))
+	for oid := range e.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		o := e.objects[oid]
+		if o.m.Matches(q) {
+			o.member[id] = struct{}{}
+			s.members[oid] = struct{}{}
+			e.emit(s, oid, Enter)
+		}
+		if t := subBoundary(o.m, y1, y2, window, e.now); t < o.certTime {
+			e.arm(oid, o, t)
+		}
+	}
+	return id, s.ch, nil
+}
+
+// Unsubscribe tears the standing query down. Undrained deltas are
+// discarded and its stream channel (if any) is closed; no Leave deltas
+// are emitted for its members.
+func (e *Engine) Unsubscribe(id SubID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	s, ok := e.subs[id]
+	if !ok {
+		return fmt.Errorf("subscribe: unsubscribe %d: %w", id, ErrUnknownSub)
+	}
+	if err := s.class.byY1.Delete(s.y1, uint64(id)); err != nil {
+		return fmt.Errorf("subscribe: unsubscribe %d: %w", id, err)
+	}
+	if err := s.class.byY2.Delete(s.y2, uint64(id)); err != nil {
+		return fmt.Errorf("subscribe: unsubscribe %d: %w", id, err)
+	}
+	s.class.count--
+	if s.class.count == 0 {
+		s.class.maxWidth = 0 // no members left to widen the stab window for
+	}
+	for oid := range s.members {
+		delete(e.objects[oid].member, id)
+	}
+	if s.ch != nil {
+		close(s.ch)
+	}
+	delete(e.subs, id)
+	return nil
+}
+
+// Apply feeds a batch of motion mutations at the current engine time.
+// A delete immediately followed by an insert of the same object — the
+// repository's update convention — is treated as one atomic motion
+// change, so it emits only the net membership transitions.
+func (e *Engine) Apply(ops []Op) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
+		if op.Insert {
+			if err := e.upsert(op.M); err != nil {
+				return err
+			}
+			continue
+		}
+		if i+1 < len(ops) && ops[i+1].Insert && ops[i+1].M.OID == op.M.OID {
+			if err := e.upsert(ops[i+1].M); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if err := e.remove(op.M.OID); err != nil {
+			return err
+		}
+	}
+	e.maybeCompact()
+	return nil
+}
+
+// Advance moves engine time forward to now and fires every due kinetic
+// certificate: each fired object is re-evaluated against the query index
+// exactly once and re-armed. After Advance returns, accumulated deltas
+// reflect every boundary crossing up to and including now.
+func (e *Engine) Advance(now float64) error {
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return fmt.Errorf("subscribe: non-finite advance time %v", now)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if now < e.now {
+		return fmt.Errorf("subscribe: advance to %v behind engine time %v", now, e.now)
+	}
+	e.now = now
+	for {
+		ev, ok := e.agenda.PopDue(now)
+		if !ok {
+			break
+		}
+		o := e.objects[ev.OID]
+		if o == nil || o.certVer != ev.Ver {
+			e.stats.StaleEvents++
+			continue
+		}
+		e.stats.CertFires++
+		if err := e.refresh(ev.OID, o); err != nil {
+			return err
+		}
+		// Certificates are clamped strictly past now on re-arm, so this
+		// loop pops each live certificate at most once per Advance.
+		if err := e.recert(ev.OID, o); err != nil {
+			return err
+		}
+	}
+	e.maybeCompact()
+	return nil
+}
+
+// Drain returns the subscription's deltas accumulated since the last
+// Drain, in emission order, and clears the buffer. It is the exact
+// delivery path: unlike the stream channel it never drops.
+func (e *Engine) Drain(id SubID) ([]Delta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	s, ok := e.subs[id]
+	if !ok {
+		return nil, fmt.Errorf("subscribe: drain %d: %w", id, ErrUnknownSub)
+	}
+	out := s.buf
+	s.buf = nil
+	return out, nil
+}
+
+// Members returns the subscription's current answer set, sorted.
+func (e *Engine) Members(id SubID) ([]dual.OID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	s, ok := e.subs[id]
+	if !ok {
+		return nil, fmt.Errorf("subscribe: members %d: %w", id, ErrUnknownSub)
+	}
+	out := make([]dual.OID, 0, len(s.members))
+	for oid := range s.members {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Reset replaces the tracked motion population with ms (last motion wins
+// on duplicate OIDs), re-evaluating every standing query: objects that
+// disappear emit Leave, (re)loaded objects emit their net transitions.
+// This is the bulk-load/recovery hook — the shard calls it when its index
+// contents are atomically replaced.
+func (e *Engine) Reset(ms []dual.Motion) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	keep := make(map[dual.OID]struct{}, len(ms))
+	for _, m := range ms {
+		keep[m.OID] = struct{}{}
+	}
+	gone := make([]dual.OID, 0)
+	for oid := range e.objects {
+		if _, ok := keep[oid]; !ok {
+			gone = append(gone, oid)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	for _, oid := range gone {
+		if err := e.remove(oid); err != nil {
+			return err
+		}
+	}
+	for _, m := range ms {
+		if err := e.upsert(m); err != nil {
+			return err
+		}
+	}
+	e.maybeCompact()
+	return nil
+}
+
+// Close shuts the engine down: every stream channel is closed, the query
+// trees are destroyed, and every further call fails with ErrClosed — no
+// delta is ever emitted after Close. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var errs []error
+	for _, s := range e.subs {
+		if s.ch != nil {
+			close(s.ch)
+		}
+	}
+	for _, cl := range e.classes {
+		if err := cl.byY1.Destroy(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := cl.byY2.Destroy(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	e.subs = nil
+	e.objects = nil
+	e.classes = nil
+	e.agenda = nil
+	return errors.Join(errs...)
+}
+
+// emit appends one delta to the subscription's drain buffer and offers
+// it to the stream channel.
+func (e *Engine) emit(s *sub, oid dual.OID, k Kind) {
+	e.seq++
+	e.stats.Emitted++
+	d := Delta{Seq: e.seq, Time: e.now, Sub: s.id, OID: oid, Kind: k}
+	s.buf = append(s.buf, d)
+	if s.ch != nil {
+		select {
+		case s.ch <- d:
+		default:
+			e.stats.Dropped++
+		}
+	}
+}
+
+// upsert installs or replaces one motion and re-evaluates it.
+func (e *Engine) upsert(m dual.Motion) error {
+	if err := validMotion(m); err != nil {
+		return err
+	}
+	o := e.objects[m.OID]
+	if o == nil {
+		o = &object{member: make(map[SubID]struct{}), certTime: math.Inf(1)}
+		e.objects[m.OID] = o
+	}
+	o.m = m
+	e.stats.Updates++
+	if err := e.refresh(m.OID, o); err != nil {
+		return err
+	}
+	return e.recert(m.OID, o)
+}
+
+// remove drops one motion, emitting Leave for every membership. Unknown
+// OIDs are a no-op, so delete ops are idempotent.
+func (e *Engine) remove(oid dual.OID) error {
+	o := e.objects[oid]
+	if o == nil {
+		return nil
+	}
+	ids := make([]SubID, 0, len(o.member))
+	for id := range o.member {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := e.subs[id]
+		delete(s.members, oid)
+		e.emit(s, oid, Leave)
+	}
+	delete(e.objects, oid) // orphans the agenda event; pop skips it
+	e.stats.Removes++
+	return nil
+}
+
+// refresh recomputes the object's exact membership across all standing
+// queries and emits the difference: leaves then enters, each in SubID
+// order.
+func (e *Engine) refresh(oid dual.OID, o *object) error {
+	got, err := e.matchSet(o.m)
+	if err != nil {
+		return err
+	}
+	leave, enter := e.leaveBuf[:0], e.enterBuf[:0]
+	for id := range o.member {
+		if _, ok := got[id]; !ok {
+			leave = append(leave, id)
+		}
+	}
+	for id := range got {
+		if _, ok := o.member[id]; !ok {
+			enter = append(enter, id)
+		}
+	}
+	e.leaveBuf, e.enterBuf = leave, enter
+	sort.Slice(leave, func(i, j int) bool { return leave[i] < leave[j] })
+	sort.Slice(enter, func(i, j int) bool { return enter[i] < enter[j] })
+	for _, id := range leave {
+		s := e.subs[id]
+		delete(o.member, id)
+		delete(s.members, oid)
+		e.emit(s, oid, Leave)
+	}
+	for _, id := range enter {
+		s := e.subs[id]
+		o.member[id] = struct{}{}
+		s.members[oid] = struct{}{}
+		e.emit(s, oid, Enter)
+	}
+	return nil
+}
+
+// maybeCompact drops stale agenda events once they can outnumber the one
+// live certificate per object.
+func (e *Engine) maybeCompact() {
+	if e.agenda.Len() <= 2*len(e.objects)+64 {
+		return
+	}
+	e.agenda.Compact(func(ev kinetic.Event) bool {
+		o := e.objects[ev.OID]
+		return o != nil && o.certVer == ev.Ver
+	})
+	e.stats.Compactions++
+}

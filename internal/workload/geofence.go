@@ -1,0 +1,224 @@
+// Geofence workload: the standing-query scenario. A handful of hotspot
+// locations (stadium, airport, depot) attract commuter objects that
+// shuttle between their homes and the hotspots, while geofences —
+// standing MOR queries watched through sliding windows — cluster around
+// the hotspots. Commuter flows therefore cross fence boundaries
+// constantly, which is exactly the enter/leave churn the subscription
+// engine's differential suite and benchmark need. All randomness flows
+// from the seed; the trace is deterministic.
+
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobidx/internal/dual"
+)
+
+// Geofence is one standing query: report objects inside [Y1, Y2] at some
+// instant of the sliding window [now, now+Window].
+type Geofence struct {
+	Y1, Y2 float64
+	Window float64
+}
+
+// GeofenceParams describes a geofence scenario.
+type GeofenceParams struct {
+	Seed            int64
+	Terrain         dual.Terrain
+	Hotspots        int       // attraction centers
+	Fences          int       // standing queries, clustered on hotspots
+	Commuters       int       // mobile objects
+	RetargetPerTick int       // spontaneous destination changes per tick
+	Windows         []float64 // fence window lengths, drawn uniformly
+}
+
+// DefaultGeofenceParams returns a scenario on the paper's terrain with
+// the given population sizes.
+func DefaultGeofenceParams(commuters, fences int) GeofenceParams {
+	retarget := commuters / 20
+	if retarget < 1 {
+		retarget = 1
+	}
+	return GeofenceParams{
+		Seed:            1999,
+		Terrain:         dual.Terrain{YMax: 1000, VMin: 0.16, VMax: 1.66},
+		Hotspots:        4,
+		Fences:          fences,
+		Commuters:       commuters,
+		RetargetPerTick: retarget,
+		Windows:         []float64{5, 20, 60},
+	}
+}
+
+// GeofenceSim drives the scenario. Like Simulator, every index operation
+// is reported through a callback as a delete+insert pair.
+type GeofenceSim struct {
+	p        GeofenceParams
+	rng      *rand.Rand
+	now      float64
+	cur      []dual.Motion // by OID
+	home     []float64     // each commuter's home position
+	target   []float64     // each commuter's current destination
+	hotspots []float64
+	fences   []Geofence
+}
+
+// NewGeofenceSim validates the parameters and lays out hotspots and
+// fences; call Bootstrap before Tick.
+func NewGeofenceSim(p GeofenceParams) (*GeofenceSim, error) {
+	if p.Commuters <= 0 || p.Fences <= 0 || p.Hotspots <= 0 {
+		return nil, fmt.Errorf("workload: geofence scenario needs commuters, fences and hotspots, got %d/%d/%d",
+			p.Commuters, p.Fences, p.Hotspots)
+	}
+	if p.Terrain.YMax <= 0 || p.Terrain.VMin <= 0 || p.Terrain.VMax < p.Terrain.VMin {
+		return nil, fmt.Errorf("workload: invalid terrain %+v", p.Terrain)
+	}
+	if len(p.Windows) == 0 {
+		return nil, fmt.Errorf("workload: geofence scenario needs at least one window length")
+	}
+	for _, w := range p.Windows {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("workload: invalid window length %v", w)
+		}
+	}
+	g := &GeofenceSim{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	ymax := p.Terrain.YMax
+	g.hotspots = make([]float64, p.Hotspots)
+	for i := range g.hotspots {
+		// Keep hotspots off the borders so fences fit around them.
+		g.hotspots[i] = ymax * (0.1 + 0.8*g.rng.Float64())
+	}
+	g.fences = make([]Geofence, p.Fences)
+	for i := range g.fences {
+		h := g.hotspots[g.rng.Intn(len(g.hotspots))]
+		center := h + g.rng.NormFloat64()*ymax/50
+		width := ymax * (0.005 + 0.025*g.rng.Float64())
+		y1 := clamp(center-width/2, 0, ymax)
+		y2 := clamp(center+width/2, 0, ymax)
+		g.fences[i] = Geofence{
+			Y1:     y1,
+			Y2:     y2,
+			Window: p.Windows[g.rng.Intn(len(p.Windows))],
+		}
+	}
+	return g, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Fences returns the standing queries of the scenario.
+func (g *GeofenceSim) Fences() []Geofence { return g.fences }
+
+// Hotspots returns the attraction centers.
+func (g *GeofenceSim) Hotspots() []float64 { return g.hotspots }
+
+// Now returns the current simulation time.
+func (g *GeofenceSim) Now() float64 { return g.now }
+
+// Motions returns the current motion of every commuter (indexed by OID).
+func (g *GeofenceSim) Motions() []dual.Motion { return g.cur }
+
+// pickTarget chooses a commuter's next destination: usually a hotspot,
+// sometimes home — the tidal flow.
+func (g *GeofenceSim) pickTarget(id int) float64 {
+	if g.rng.Float64() < 0.35 {
+		return g.home[id]
+	}
+	return g.hotspots[g.rng.Intn(len(g.hotspots))]
+}
+
+// motionToward builds the motion of commuter id standing at y at time t,
+// heading for its current target. Commuters never stop: the paper's
+// model (and core's motion validation) keeps every speed in
+// [VMin, VMax], so "parked at the hotspot" is a slow shuttle around it.
+func (g *GeofenceSim) motionToward(id int, y, t float64) dual.Motion {
+	tr := g.p.Terrain
+	v := tr.VMin + g.rng.Float64()*(tr.VMax-tr.VMin)
+	if g.target[id]-y < 0 {
+		v = -v
+	}
+	return dual.Motion{OID: dual.OID(id), Y0: y, T0: t, V: v}
+}
+
+// Bootstrap creates the commuters at their homes at time 0, reporting
+// one Insert per object.
+func (g *GeofenceSim) Bootstrap(apply func(Op) error) error {
+	g.cur = make([]dual.Motion, g.p.Commuters)
+	g.home = make([]float64, g.p.Commuters)
+	g.target = make([]float64, g.p.Commuters)
+	for i := range g.cur {
+		g.home[i] = g.rng.Float64() * g.p.Terrain.YMax
+		g.target[i] = g.pickTarget(i)
+		m := g.motionToward(i, g.home[i], 0)
+		g.cur[i] = m
+		if err := apply(Op{Insert: true, Motion: m}); err != nil {
+			return fmt.Errorf("workload: geofence bootstrap insert %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// update replaces commuter id's motion, reporting the delete+insert pair.
+func (g *GeofenceSim) update(id int, nm dual.Motion, apply func(Op) error) error {
+	if err := apply(Op{Insert: false, Motion: g.cur[id]}); err != nil {
+		return fmt.Errorf("workload: geofence delete for commuter %d: %w", id, err)
+	}
+	if err := apply(Op{Insert: true, Motion: nm}); err != nil {
+		return fmt.Errorf("workload: geofence insert for commuter %d: %w", id, err)
+	}
+	g.cur[id] = nm
+	return nil
+}
+
+// Tick advances one time instant: commuters that reached their target
+// (or a border) turn around or park, and RetargetPerTick commuters pick
+// new destinations mid-flight.
+func (g *GeofenceSim) Tick(apply func(Op) error) error {
+	g.now++
+	ymax := g.p.Terrain.YMax
+	for id := range g.cur {
+		m := g.cur[id]
+		y := m.At(g.now)
+		arrived := (m.V > 0 && y >= g.target[id]) || (m.V < 0 && y <= g.target[id])
+		if !arrived && y > 0 && y < ymax {
+			continue
+		}
+		g.target[id] = g.pickTarget(id)
+		if err := g.update(id, g.motionToward(id, clamp(y, 0, ymax), g.now), apply); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < g.p.RetargetPerTick; k++ {
+		id := g.rng.Intn(g.p.Commuters)
+		y := clamp(g.cur[id].At(g.now), 0, ymax)
+		g.target[id] = g.pickTarget(id)
+		if err := g.update(id, g.motionToward(id, y, g.now), apply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BruteForce answers fence f one-shot against the simulator's own state
+// at the current time — the ground truth for the differential suite.
+func (g *GeofenceSim) BruteForce(f Geofence) []dual.OID {
+	q := dual.MORQuery{Y1: f.Y1, Y2: f.Y2, T1: g.now, T2: g.now + f.Window}
+	out := make([]dual.OID, 0)
+	for _, m := range g.cur {
+		if m.Matches(q) {
+			out = append(out, m.OID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mobidx/internal/dual"
+)
+
+func geofenceTrace(t *testing.T, p GeofenceParams, ticks int) (*GeofenceSim, int) {
+	t.Helper()
+	g, err := NewGeofenceSim(p)
+	if err != nil {
+		t.Fatalf("NewGeofenceSim: %v", err)
+	}
+	ops := 0
+	count := func(Op) error { ops++; return nil }
+	if err := g.Bootstrap(count); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	for i := 0; i < ticks; i++ {
+		if err := g.Tick(count); err != nil {
+			t.Fatalf("Tick %d: %v", i, err)
+		}
+	}
+	return g, ops
+}
+
+func TestGeofenceDeterminism(t *testing.T) {
+	p := DefaultGeofenceParams(200, 40)
+	a, aops := geofenceTrace(t, p, 50)
+	b, bops := geofenceTrace(t, p, 50)
+	if aops != bops {
+		t.Fatalf("op counts differ: %d vs %d", aops, bops)
+	}
+	if !reflect.DeepEqual(a.Fences(), b.Fences()) {
+		t.Fatalf("fence layouts differ")
+	}
+	if !reflect.DeepEqual(a.Motions(), b.Motions()) {
+		t.Fatalf("motion states differ after identical traces")
+	}
+}
+
+func TestGeofenceLayout(t *testing.T) {
+	p := DefaultGeofenceParams(100, 200)
+	g, _ := geofenceTrace(t, p, 0)
+	windows := make(map[uint64]bool)
+	for _, w := range p.Windows {
+		windows[math.Float64bits(w)] = true
+	}
+	near := 0
+	for _, f := range g.Fences() {
+		if f.Y1 < 0 || f.Y2 > p.Terrain.YMax || f.Y2 < f.Y1 {
+			t.Fatalf("fence %+v outside terrain", f)
+		}
+		if !windows[math.Float64bits(f.Window)] {
+			t.Fatalf("fence window %v not drawn from %v", f.Window, p.Windows)
+		}
+		center := (f.Y1 + f.Y2) / 2
+		for _, h := range g.Hotspots() {
+			if math.Abs(center-h) < p.Terrain.YMax/10 {
+				near++
+				break
+			}
+		}
+	}
+	if near < len(g.Fences())*6/10 {
+		t.Fatalf("only %d/%d fences near a hotspot; wanted clustering", near, len(g.Fences()))
+	}
+}
+
+func TestGeofenceCommuterMotion(t *testing.T) {
+	p := DefaultGeofenceParams(300, 30)
+	g, ops := geofenceTrace(t, p, 100)
+	if ops <= p.Commuters {
+		t.Fatalf("no updates beyond bootstrap (%d ops)", ops)
+	}
+	tr := p.Terrain
+	for _, m := range g.Motions() {
+		v := math.Abs(m.V)
+		if v > tr.VMax+1e-12 {
+			t.Fatalf("commuter %d too fast: %v", m.OID, m.V)
+		}
+		if v > 1e-12 && v < tr.VMin-1e-12 {
+			t.Fatalf("commuter %d moving slower than VMin: %v", m.OID, m.V)
+		}
+		y := m.At(g.Now())
+		if y < -tr.YMax/4 || y > tr.YMax*1.25 {
+			t.Fatalf("commuter %d far outside the terrain: y=%v", m.OID, y)
+		}
+	}
+}
+
+func TestGeofenceCrossingActivity(t *testing.T) {
+	p := DefaultGeofenceParams(400, 60)
+	g, err := NewGeofenceSim(p)
+	if err != nil {
+		t.Fatalf("NewGeofenceSim: %v", err)
+	}
+	nop := func(Op) error { return nil }
+	if err := g.Bootstrap(nop); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	prev := make(map[int]map[dual.OID]bool)
+	transitions := 0
+	for tick := 0; tick < 80; tick++ {
+		if err := g.Tick(nop); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		for i, f := range g.Fences() {
+			cur := make(map[dual.OID]bool)
+			for _, oid := range g.BruteForce(f) {
+				cur[oid] = true
+			}
+			for oid := range cur {
+				if !prev[i][oid] {
+					transitions++
+				}
+			}
+			for oid := range prev[i] {
+				if !cur[oid] {
+					transitions++
+				}
+			}
+			prev[i] = cur
+		}
+	}
+	if transitions < 100 {
+		t.Fatalf("only %d fence transitions in 80 ticks; commuter flows are not crossing fences", transitions)
+	}
+}

@@ -32,6 +32,14 @@
 // answers single-instant MOR1 queries within a bounded future window in
 // O(log_B(n+m)) I/Os (§3.6, Theorem 2), where m counts object overtakes.
 //
+// # Continuous queries
+//
+// NewSubscriptionEngine maintains standing MOR queries incrementally: the
+// queries themselves are indexed in dual space, each motion update probes
+// that query index for exactly the affected subscriptions, and kinetic
+// certificates cover the boundary crossings between updates. Typed
+// enter/leave deltas replace re-execution.
+//
 // # Two dimensions
 //
 // New2DKDIndex and New2DDecomposedIndex implement §4.2 (free movement in
@@ -59,6 +67,7 @@ import (
 	"mobidx/internal/kinetic"
 	"mobidx/internal/pager"
 	"mobidx/internal/route"
+	"mobidx/internal/subscribe"
 	"mobidx/internal/twod"
 )
 
@@ -345,6 +354,57 @@ func NewStaggeredKinetic(store Store, T float64) (*StaggeredKinetic, error) {
 // tStart+horizon) — Lemma 3.
 func Crossings(objs []KineticObject, tStart, horizon float64) []Crossing {
 	return kinetic.Crossings(objs, tStart, horizon)
+}
+
+// Continuous queries: standing MOR queries maintained incrementally. A
+// subscription watches a spatial range through a sliding time window; the
+// engine indexes the standing queries themselves in dual space, probes
+// that query index on each motion update to find exactly the affected
+// subscriptions, and schedules kinetic certificates for the future
+// instants at which a moving object crosses a standing query's window
+// boundary — so membership deltas flow without ever re-running a query.
+// Accumulated deltas reconstruct, at every checkpoint, byte-identically
+// the answer of a one-shot re-run.
+type (
+	// SubscriptionEngine maintains standing queries over motion updates.
+	SubscriptionEngine = subscribe.Engine
+	// SubscribeConfig configures a subscription engine.
+	SubscribeConfig = subscribe.Config
+	// SubID identifies a subscription within one engine.
+	SubID = subscribe.SubID
+	// SubDelta is one membership transition of a subscription's answer.
+	SubDelta = subscribe.Delta
+	// SubKind is the type of a membership delta (SubEnter or SubLeave).
+	SubKind = subscribe.Kind
+	// SubOp is one motion mutation fed to a subscription engine.
+	SubOp = subscribe.Op
+	// SubscribeStats counts a subscription engine's work.
+	SubscribeStats = subscribe.Stats
+)
+
+// Membership delta kinds.
+const (
+	// SubEnter reports an object joining a subscription's answer set.
+	SubEnter = subscribe.Enter
+	// SubLeave reports an object dropping out of it.
+	SubLeave = subscribe.Leave
+)
+
+// Typed failures of the subscription engine.
+var (
+	// ErrSubEngineClosed reports use of a closed subscription engine.
+	ErrSubEngineClosed = subscribe.ErrClosed
+	// ErrUnknownSub reports an operation on a nonexistent subscription.
+	ErrUnknownSub = subscribe.ErrUnknownSub
+)
+
+// NewSubscriptionEngine returns an empty continuous-query engine. Feed
+// motion updates with Apply, move time forward with Advance, register
+// standing queries with Subscribe or SubscribeStream, and collect typed
+// enter/leave deltas with Drain (exact) or the stream channel
+// (best-effort).
+func NewSubscriptionEngine(cfg SubscribeConfig) (*SubscriptionEngine, error) {
+	return subscribe.New(cfg)
 }
 
 // Two-dimensional movement (§4.2).

@@ -1,8 +1,10 @@
 package mobidx
 
 import (
+	"errors"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"testing"
 )
@@ -504,5 +506,66 @@ func TestPublicWALSnapshot(t *testing.T) {
 	}
 	if err := ws.Rollback(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicSubscriptionEngine drives the facade's continuous-query API
+// end to end: subscribe, stream, update, advance across a boundary
+// crossing, and check the drained deltas reconstruct a one-shot answer.
+func TestPublicSubscriptionEngine(t *testing.T) {
+	eng, err := NewSubscriptionEngine(SubscribeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Apply([]SubOp{
+		{Insert: true, M: Motion{OID: 1, Y0: 90, V: 1}},
+		{Insert: true, M: Motion{OID: 2, Y0: 500, V: -0.5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id, ch, err := eng.SubscribeStream(100, 200, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OID 1 sweeps [90, 100] over the window and already touches Y1.
+	if d := <-ch; d.Kind != SubEnter || d.OID != 1 {
+		t.Fatalf("initial delta %+v, want enter 1", d)
+	}
+	// Advance far enough that object 2 (at 500-0.5t) reaches the range.
+	if err := eng.Advance(600); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := eng.Drain(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[OID]bool{}
+	for _, d := range ds {
+		switch d.Kind {
+		case SubEnter:
+			members[d.OID] = true
+		case SubLeave:
+			delete(members, d.OID)
+		}
+	}
+	want := map[OID]bool{}
+	q := Query{Y1: 100, Y2: 200, T1: 600, T2: 610}
+	for _, m := range []Motion{{OID: 1, Y0: 90, V: 1}, {OID: 2, Y0: 500, V: -0.5}} {
+		if m.Matches(q) {
+			want[m.OID] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("inert scenario: no member at t=600")
+	}
+	if !reflect.DeepEqual(members, want) {
+		t.Fatalf("reconstruction %v, want %v", members, want)
+	}
+	if err := eng.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Drain(id); !errors.Is(err, ErrUnknownSub) {
+		t.Fatalf("drain after unsubscribe: %v, want ErrUnknownSub", err)
 	}
 }

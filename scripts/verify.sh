@@ -33,7 +33,16 @@ go test -shuffle=on ./...
 echo "== go test -race (storage + parallel query + sharded serving layers) =="
 go test -race ./internal/pager/... ./internal/core/... ./internal/twod/... \
 	./internal/kdtree/... ./internal/kinetic/... ./internal/harness/... \
-	./internal/leakcheck/... ./internal/shard/...
+	./internal/leakcheck/... ./internal/shard/... ./internal/subscribe/... \
+	./internal/workload/...
+
+echo "== subscription storm (leak + race gated) =="
+# The continuous-query engine under a live update storm: concurrent
+# subscribe/unsubscribe/update/advance stress, Unsubscribe and Close
+# mid-storm with leakcheck asserting no goroutine survives, and the
+# differential oracle suite. -count=1 defeats the cache so the race
+# detector really runs.
+go test -race -count=1 -run 'Storm|Stress|Differential|Leak' ./internal/subscribe
 
 echo "== chaos sweep (topology x fault x policy, race-gated) =="
 # The sharded-serving chaos harness: every topology through every fault
@@ -82,5 +91,7 @@ echo "== fuzz smoke =="
 go test ./internal/bptree -run '^$' -fuzz '^FuzzDecodeNode$' -fuzztime=10s
 go test ./internal/pager -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s
 go test ./internal/geom -run '^$' -fuzz '^FuzzClipConvex$' -fuzztime=10s
+go test ./internal/subscribe -run '^$' -fuzz '^FuzzMatcher$' -fuzztime=10s
+go test ./internal/subscribe -run '^$' -fuzz '^FuzzKineticBoundary$' -fuzztime=10s
 
 echo "verify: all checks passed"
