@@ -55,6 +55,13 @@ func main() {
 		clusterQ      = flag.Int("clusterqueries", 2000, "baseline queries per run in -cluster")
 		clusterOut    = flag.String("clusterout", "BENCH_cluster.json", "output file for the -cluster report")
 
+		ingestBench   = flag.Bool("ingest", false, "run the ingest-tier write benchmark instead of the figures")
+		ingestWriters = flag.String("ingestwriters", "1,2,4,8", "comma-separated concurrent writer counts for -ingest")
+		ingestN       = flag.Int("ingestn", 20000, "object count for -ingest")
+		ingestUpdates = flag.Int("ingestupdates", 4000, "update pairs per leg in -ingest")
+		ingestSync    = flag.Duration("ingestsync", 2*time.Millisecond, "simulated log fsync latency in -ingest")
+		ingestOut     = flag.String("ingestout", "BENCH_ingest.json", "output file for the -ingest report")
+
 		build    = flag.Bool("build", false, "run the incremental-vs-bulk construction benchmark instead of the figures")
 		buildN   = flag.Int("buildn", 100000, "records per structure for -build")
 		buildOut = flag.String("buildout", "BENCH_build.json", "output file for the -build report")
@@ -70,6 +77,14 @@ func main() {
 	if *subBench {
 		if err := runSubscribe(*subCounts, *subN, *subTicks, *subOut); err != nil {
 			fmt.Fprintf(os.Stderr, "mobbench: subscribe: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ingestBench {
+		if err := runIngest(*ingestWriters, *ingestN, *ingestUpdates, *ingestSync, *ingestOut); err != nil {
+			fmt.Fprintf(os.Stderr, "mobbench: ingest: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -448,6 +463,69 @@ func runSubscribe(countsCSV string, commuters, ticks int, outPath string) error 
 	fmt.Printf("  wrote %s\n", outPath)
 	if rep.Speedup1k > 0 && rep.Speedup1k < 5 {
 		return fmt.Errorf("incremental speedup %.1fx at 1000 standing queries is below the 5x gate", rep.Speedup1k)
+	}
+	return nil
+}
+
+// runIngest compares sustained update throughput through the
+// log-structured write tier (per-writer durable journals under group
+// commit + shared memtable) against direct delete+insert on the flat
+// index, at each writer count, and writes the machine-readable report to
+// outPath. The run fails if the tier does not sustain at least 3x the
+// direct path's updates/sec at 4 writers, or if its query throughput
+// falls below 80% of the flat path's — the trade the tier exists for.
+func runIngest(writersCSV string, n, updates int, syncLat time.Duration, outPath string) error {
+	writers, err := parseInts(writersCSV)
+	if err != nil {
+		return fmt.Errorf("bad -ingestwriters: %w", err)
+	}
+	fmt.Printf("Ingest-tier write benchmark: N=%d, %d update pairs per leg, %v per log fsync, GOMAXPROCS=%d\n",
+		n, updates, syncLat, runtime.GOMAXPROCS(0))
+
+	type report struct {
+		N          int                          `json:"n"`
+		Updates    int                          `json:"update_pairs_per_leg"`
+		SyncUs     float64                      `json:"sync_latency_us"`
+		GOMAXPROCS int                          `json:"gomaxprocs"`
+		Runs       []*harness.IngestBenchResult `json:"runs"`
+		Speedup4w  float64                      `json:"updates_speedup_4w,omitempty"`
+		QPSRatio4w float64                      `json:"qps_ratio_4w,omitempty"`
+	}
+	rep := report{
+		N: n, Updates: updates, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SyncUs: float64(syncLat.Nanoseconds()) / 1e3,
+	}
+	for _, w := range writers {
+		res, err := harness.RunIngestBench(harness.IngestBenchConfig{
+			N: n, Writers: w, Updates: updates, SyncLatency: syncLat,
+		})
+		if err != nil {
+			return fmt.Errorf("writers=%d: %w", w, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		if w == 4 {
+			rep.Speedup4w = res.Speedup
+			rep.QPSRatio4w = res.QPSRatio
+		}
+		fmt.Printf("  writers=%-2d  direct %8.0f up/s (p99 %7.0fus)   ingest %8.0f up/s (p99 %7.0fus)   speedup %5.2fx   qps %.0f→%.0f (%.2fx)   %d commits / %d syncs\n",
+			w, res.Direct.UPS, res.Direct.UpdP99us, res.Ingest.UPS, res.Ingest.UpdP99us,
+			res.Speedup, res.Direct.QPS, res.Ingest.QPS, res.QPSRatio,
+			res.Ingest.Commits, res.Ingest.Syncs)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	if rep.Speedup4w > 0 && rep.Speedup4w < 3 {
+		return fmt.Errorf("ingest speedup %.2fx at 4 writers is below the 3x gate", rep.Speedup4w)
+	}
+	if rep.QPSRatio4w > 0 && rep.QPSRatio4w < 0.8 {
+		return fmt.Errorf("ingest query throughput %.2fx of flat at 4 writers is below the 0.8x gate", rep.QPSRatio4w)
 	}
 	return nil
 }

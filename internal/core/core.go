@@ -48,6 +48,14 @@ type Index1D interface {
 
 // validateMotion checks the "moving object" speed band of §3.
 func validateMotion(m dual.Motion, tr dual.Terrain) error {
+	return ValidateMotion(m, tr)
+}
+
+// ValidateMotion checks m against the terrain's speed band and position
+// range — the exact admission test every index constructor in this
+// package applies, exported so write tiers in front of an index (ingest)
+// can reject a motion before staging it rather than at merge time.
+func ValidateMotion(m dual.Motion, tr dual.Terrain) error {
 	s := math.Abs(m.V)
 	if s < tr.VMin-1e-12 || s > tr.VMax+1e-12 {
 		return fmt.Errorf("core: speed %v outside [%v, %v]", m.V, tr.VMin, tr.VMax)

@@ -1,0 +1,456 @@
+// Ingest-tier write benchmark: RunIngestBench measures sustained
+// update-pair throughput (delete-exact + insert, the paper's motion
+// update) under an update-dominated load, comparing the two write
+// architectures this repository provides over the same simulated log
+// device (a real per-sync latency, the fsync cost):
+//
+//   - direct: the flat path — every update mutates the Dual-B+ trees
+//     inside one WAL batch under the exclusive index latch. Durable per
+//     update, but writers serialize on the latch and every commit pays
+//     its own log sync.
+//   - ingest: the log-structured path — every update appends its two ops
+//     to the writer's own durable journal in an explicit pager.Txn
+//     (group commit coalesces the concurrent syncs onto shared log
+//     flushes) and lands in the shared tier's memtable; the trees are
+//     rebuilt by occasional bulk folds instead of per-update mutation.
+//
+// Both legs are durable per update when the commit returns: the direct
+// leg recovers its trees from the WAL, the ingest leg replays its
+// journals into the tier. The ingest leg's fold here is the in-memory
+// reindex — its durable counterpart (the catalog rewrite inside the same
+// batch) is exercised by the shard integration and its crash sweep; this
+// bench isolates the steady-state write-path cost the two architectures
+// actually differ on.
+//
+// Each leg runs a write phase and then a query phase, so each metric is
+// measured clean: the write phase times sustained update throughput with
+// every writer hot; the query phase then times MOR queries against the
+// state the writes left behind — for the ingest leg that is the honest
+// post-load shape, memtable and frozen runs overlaid on the folded base,
+// so QPSRatio reports exactly what the delta overlay costs readers.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobidx/internal/bptree"
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/ingest"
+	"mobidx/internal/pager"
+	"mobidx/internal/workload"
+)
+
+// IngestBenchConfig tunes one writer-count comparison.
+type IngestBenchConfig struct {
+	N            int   // mobile objects (0 → 20000)
+	Writers      int   // concurrent update writers (0 → 4)
+	Updates      int   // total update pairs per leg (0 → 4000)
+	Queries      int   // queries served in the query phase (0 → 2000)
+	QueryWorkers int   // query-phase goroutines (0 → 2)
+	Seed         int64 // scenario seed (0 → 1999)
+	// SyncLatency simulates the log fsync cost (0 → 2ms, a commodity
+	// SSD paying a full cache flush per barrier — the cost the two
+	// architectures actually differ on).
+	SyncLatency time.Duration
+	// MemtableFlush/MaxRuns tune the ingest leg's tier (0 → 192 / 2:
+	// small enough that the measured window includes real folds and the
+	// steady-state delta stays a small fraction of a query's base cost).
+	MemtableFlush int
+	MaxRuns       int
+}
+
+func (c *IngestBenchConfig) fill() {
+	if c.N == 0 {
+		c.N = 20000
+	}
+	if c.Writers == 0 {
+		c.Writers = 4
+	}
+	if c.Updates == 0 {
+		c.Updates = 4000
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	if c.QueryWorkers == 0 {
+		c.QueryWorkers = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1999
+	}
+	if c.SyncLatency == 0 {
+		c.SyncLatency = 2 * time.Millisecond
+	}
+	if c.MemtableFlush == 0 {
+		c.MemtableFlush = 192
+	}
+	if c.MaxRuns == 0 {
+		c.MaxRuns = 2
+	}
+}
+
+// IngestBenchLeg reports one write architecture under the configured load.
+type IngestBenchLeg struct {
+	Updates  int     `json:"update_pairs"`
+	UPS      float64 `json:"updates_per_sec"`
+	UpdP50us float64 `json:"upd_p50_us"`
+	UpdP99us float64 `json:"upd_p99_us"`
+	Queries  int     `json:"queries"`
+	QPS      float64 `json:"qps"`
+	// Commits and Syncs expose group-commit coalescing on the ingest leg
+	// (Syncs < Commits is the win); zero on the direct leg, which runs
+	// without a group committer.
+	Commits int64 `json:"commits"`
+	Syncs   int64 `json:"log_syncs"`
+	// Freezes/Merges count the ingest tier's flush activity (0 on direct).
+	Freezes int64 `json:"freezes"`
+	Merges  int64 `json:"merges"`
+}
+
+// IngestBenchResult is one writer-count comparison of the two legs.
+type IngestBenchResult struct {
+	N       int            `json:"n"`
+	Writers int            `json:"writers"`
+	Direct  IngestBenchLeg `json:"direct"`
+	Ingest  IngestBenchLeg `json:"ingest"`
+	// Speedup is Ingest.UPS / Direct.UPS; QPSRatio is Ingest.QPS /
+	// Direct.QPS (how much of the flat path's read throughput the tier
+	// retains while sustaining the higher write rate).
+	Speedup  float64 `json:"updates_speedup"`
+	QPSRatio float64 `json:"qps_ratio"`
+}
+
+// slowLog models a log device with a real sync cost; appends are absorbed
+// at memory speed (sequential writes), only Sync pays.
+type slowLog struct {
+	*pager.MemLog
+	d time.Duration
+}
+
+func (l *slowLog) Sync() error {
+	time.Sleep(l.d)
+	return l.MemLog.Sync()
+}
+
+// ingestBenchWorkload pre-generates the population and per-writer update
+// streams. Writers own disjoint OID sets (writer w owns index i with
+// i%writers == w), the tier's concurrent-writer discipline, and both legs
+// consume identical streams.
+func ingestBenchWorkload(cfg IngestBenchConfig) (tr dual.Terrain, pop []dual.Motion, streams [][][2]dual.Motion, err error) {
+	p := workload.DefaultParams(cfg.N)
+	p.Seed = cfg.Seed
+	sim, err := workload.NewSimulator(p)
+	if err != nil {
+		return tr, nil, nil, err
+	}
+	if err := sim.Bootstrap(func(workload.Op) error { return nil }); err != nil {
+		return tr, nil, nil, err
+	}
+	tr = p.Terrain
+	pop = sim.Motions()
+	streams = make([][][2]dual.Motion, cfg.Writers)
+	perWriter := cfg.Updates / cfg.Writers
+	if perWriter == 0 {
+		perWriter = 1
+	}
+	for w := 0; w < cfg.Writers; w++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+		var owned []int
+		for i := w; i < len(pop); i += cfg.Writers {
+			owned = append(owned, i)
+		}
+		cur := make(map[int]dual.Motion, len(owned))
+		for _, i := range owned {
+			cur[i] = pop[i]
+		}
+		stream := make([][2]dual.Motion, perWriter)
+		for k := range stream {
+			i := owned[rng.Intn(len(owned))]
+			old := cur[i]
+			upd := old
+			upd.Y0 = math.Mod(old.Y0+rng.Float64()*50, tr.YMax)
+			v := tr.VMin + rng.Float64()*(tr.VMax-tr.VMin)
+			if rng.Intn(2) == 1 {
+				v = -v
+			}
+			upd.V = v
+			stream[k] = [2]dual.Motion{old, upd}
+			cur[i] = upd
+		}
+		streams[w] = stream
+	}
+	return tr, pop, streams, nil
+}
+
+// runWritePhase drives one leg's writers over their streams concurrently
+// and reports the sustained pair rate and per-pair latencies.
+func runWritePhase(writers int, streams [][][2]dual.Motion,
+	applyPair func(w int, old, upd dual.Motion) error) (pairs int, ups float64, updLat []time.Duration, err error) {
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+	)
+	lats := make([][]time.Duration, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, len(streams[w]))
+			for _, pair := range streams[w] {
+				t0 := time.Now()
+				if err := applyPair(w, pair[0], pair[1]); err != nil {
+					errOnce.Do(func() { runErr = fmt.Errorf("writer %d: %w", w, err) })
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return 0, 0, nil, runErr
+	}
+	for _, l := range lats {
+		pairs += len(l)
+		updLat = append(updLat, l...)
+	}
+	sort.Slice(updLat, func(i, j int) bool { return updLat[i] < updLat[j] })
+	return pairs, float64(pairs) / elapsed.Seconds(), updLat, nil
+}
+
+// runQueryPhase serves total queries from workers goroutines and reports
+// the rate.
+func runQueryPhase(workers, total int, queries []dual.MORQuery,
+	query func(q dual.MORQuery) error) (served int64, qps float64, err error) {
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		done    atomic.Int64
+		errOnce sync.Once
+		runErr  error
+	)
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				ticket := next.Add(1) - 1
+				if ticket >= int64(total) {
+					return
+				}
+				if err := query(queries[ticket%int64(len(queries))]); err != nil {
+					errOnce.Do(func() { runErr = fmt.Errorf("query worker %d: %w", g, err) })
+					return
+				}
+				done.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	return done.Load(), float64(done.Load()) / elapsed.Seconds(), nil
+}
+
+// lingerFor bounds the group-commit linger: a fraction of the sync cost
+// so a lone committer barely pays, capped so the linger never becomes a
+// per-round tax comparable to the sync it is trying to amortize.
+func lingerFor(sync time.Duration) time.Duration {
+	l := sync / 2
+	if max := 200 * time.Microsecond; l > max {
+		l = max
+	}
+	return l
+}
+
+func latPctUs(l []time.Duration, p float64) float64 {
+	if len(l) == 0 {
+		return 0
+	}
+	return float64(l[int(p*float64(len(l)-1))].Nanoseconds()) / 1e3
+}
+
+// RunIngestBench compares the two write paths at one writer count.
+func RunIngestBench(cfg IngestBenchConfig) (*IngestBenchResult, error) {
+	cfg.fill()
+	tr, pop, streams, err := ingestBenchWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := workload.DefaultParams(cfg.N)
+	p.Seed = cfg.Seed
+	sim, err := workload.NewSimulator(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Bootstrap(func(workload.Op) error { return nil }); err != nil {
+		return nil, err
+	}
+	queries := sim.Queries(workload.SmallQueries())
+	for len(queries) < 1024 {
+		queries = append(queries, sim.Queries(workload.SmallQueries())...)
+	}
+	res := &IngestBenchResult{N: cfg.N, Writers: cfg.Writers}
+
+	// Direct leg: flat Dual-B+ on a WALStore; each pair is one implicit
+	// batch (delete + insert) under the exclusive latch, one sync each.
+	{
+		wal, err := pager.OpenWALStore(pager.NewMemStore(pager.DefaultPageSize),
+			&slowLog{MemLog: pager.NewMemLog(), d: cfg.SyncLatency}, pager.WALConfig{})
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.NewDualBPlus(wal, core.DualBPlusConfig{Terrain: tr, C: 4, Codec: bptree.Compact})
+		if err != nil {
+			return nil, err
+		}
+		if err := pager.RunBatch(wal, func() error { return ix.BulkLoad(pop) }); err != nil {
+			return nil, fmt.Errorf("direct load: %w", err)
+		}
+		var mu sync.Mutex // the index is single-writer
+		pairs, ups, lat, err := runWritePhase(cfg.Writers, streams,
+			func(_ int, old, upd dual.Motion) error {
+				mu.Lock()
+				defer mu.Unlock()
+				return pager.RunBatch(wal, func() error {
+					if err := ix.Delete(old); err != nil {
+						return err
+					}
+					return ix.Insert(upd)
+				})
+			})
+		if err != nil {
+			return nil, fmt.Errorf("direct write phase: %w", err)
+		}
+		served, qps, err := runQueryPhase(cfg.QueryWorkers, cfg.Queries, queries,
+			func(q dual.MORQuery) error {
+				return ix.Query(q, func(dual.OID) {})
+			})
+		if err != nil {
+			return nil, fmt.Errorf("direct query phase: %w", err)
+		}
+		commits, syncs := wal.GroupCommitStats()
+		res.Direct = IngestBenchLeg{
+			Updates: pairs, UPS: ups,
+			UpdP50us: latPctUs(lat, 0.50), UpdP99us: latPctUs(lat, 0.99),
+			Queries: int(served), QPS: qps,
+			Commits: int64(commits), Syncs: int64(syncs),
+		}
+		if err := wal.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Ingest leg: per-writer durable journals on a group-commit WALStore
+	// carry the ops; the shared tier (base index on its own memory store)
+	// carries the answers. The journal device uses small pages: a journal
+	// record is tens of bytes and the page is the WAL's encode unit, so
+	// record-sized pages keep each commit's log image proportional to the
+	// ops it carries (the direct leg ships tree page images and wants
+	// tree-sized pages — that asymmetry is the architectural contrast).
+	{
+		const journalPageSize = 512
+		wal, err := pager.OpenWALStore(pager.NewMemStore(journalPageSize),
+			&slowLog{MemLog: pager.NewMemLog(), d: cfg.SyncLatency}, pager.WALConfig{
+				GroupCommit:    true,
+				CommitLinger:   lingerFor(cfg.SyncLatency),
+				MaxCommitQueue: 4 * cfg.Writers,
+			})
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.NewDualBPlus(pager.NewBuffered(pager.NewMemStore(pager.DefaultPageSize), 256),
+			core.DualBPlusConfig{Terrain: tr, C: 4, Codec: bptree.Compact})
+		if err != nil {
+			return nil, err
+		}
+		tier, err := ingest.New(ix, ingest.Config{
+			Terrain: tr, MemtableFlush: cfg.MemtableFlush, MaxRuns: cfg.MaxRuns,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := tier.Load(pop); err != nil {
+			return nil, fmt.Errorf("ingest load: %w", err)
+		}
+		journals := make([]*ingest.Journal, cfg.Writers)
+		for w := range journals {
+			txn, err := wal.BeginTxn()
+			if err != nil {
+				return nil, err
+			}
+			if journals[w], err = ingest.NewJournal(txn); err != nil {
+				return nil, err
+			}
+			if err := txn.Commit(); err != nil {
+				return nil, err
+			}
+		}
+		pairs, ups, lat, err := runWritePhase(cfg.Writers, streams,
+			func(w int, old, upd dual.Motion) error {
+				ops := []ingest.Op{{Insert: false, M: old}, {Insert: true, M: upd}}
+				txn, err := wal.BeginTxn()
+				if err != nil {
+					return err
+				}
+				if err := journals[w].Append(txn, ops); err != nil {
+					//mobidxlint:allow errdrop -- the append failure is the verdict; rollback is best-effort cleanup
+					_ = txn.Rollback()
+					return err
+				}
+				if err := txn.Commit(); err != nil {
+					return err
+				}
+				_, err = tier.Add(ops)
+				return err
+			})
+		if err != nil {
+			return nil, fmt.Errorf("ingest write phase: %w", err)
+		}
+		served, qps, err := runQueryPhase(cfg.QueryWorkers, cfg.Queries, queries,
+			func(q dual.MORQuery) error {
+				_, err := tier.Query(q)
+				return err
+			})
+		if err != nil {
+			return nil, fmt.Errorf("ingest query phase: %w", err)
+		}
+		commits, syncs := wal.GroupCommitStats()
+		st := tier.Stats()
+		res.Ingest = IngestBenchLeg{
+			Updates: pairs, UPS: ups,
+			UpdP50us: latPctUs(lat, 0.50), UpdP99us: latPctUs(lat, 0.99),
+			Queries: int(served), QPS: qps,
+			Commits: int64(commits), Syncs: int64(syncs),
+			Freezes: int64(st.Freezes), Merges: int64(st.Merges),
+		}
+		if err := tier.Close(); err != nil {
+			return nil, err
+		}
+		if err := wal.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	if res.Direct.UPS > 0 {
+		res.Speedup = res.Ingest.UPS / res.Direct.UPS
+	}
+	if res.Direct.QPS > 0 {
+		res.QPSRatio = res.Ingest.QPS / res.Direct.QPS
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"mobidx/internal/leakcheck"
+)
+
+// TestRunIngestBench smoke-tests both legs at a small scale: every update
+// pair applied on each, queries served concurrently, group commit active
+// on the ingest leg, and the tier actually freezing. The ≥3x speedup gate
+// runs at full scale in scripts/bench.sh, not here — timing claims on CI
+// machines are flaky.
+func TestRunIngestBench(t *testing.T) {
+	leakcheck.Check(t)
+	res, err := RunIngestBench(IngestBenchConfig{
+		N:             3000,
+		Writers:       2,
+		Updates:       240,
+		QueryWorkers:  1,
+		SyncLatency:   50 * time.Microsecond, // keeps the run short
+		MemtableFlush: 64,
+		MaxRuns:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, leg := range map[string]IngestBenchLeg{"direct": res.Direct, "ingest": res.Ingest} {
+		if leg.Updates != 240 {
+			t.Fatalf("%s: applied %d pairs, want 240", name, leg.Updates)
+		}
+		if leg.UPS <= 0 {
+			t.Fatalf("%s: UPS = %v", name, leg.UPS)
+		}
+		if leg.UpdP50us <= 0 || leg.UpdP50us > leg.UpdP99us {
+			t.Fatalf("%s: update percentiles unordered: p50=%v p99=%v", name, leg.UpdP50us, leg.UpdP99us)
+		}
+		if leg.Queries == 0 || leg.QPS <= 0 {
+			t.Fatalf("%s: no queries served: %+v", name, leg)
+		}
+	}
+	if res.Direct.Commits != 0 || res.Direct.Syncs != 0 {
+		t.Fatalf("direct leg ran a group committer: %+v", res.Direct)
+	}
+	if res.Ingest.Commits == 0 {
+		t.Fatalf("ingest leg saw no group commits: %+v", res.Ingest)
+	}
+	if res.Ingest.Syncs > res.Ingest.Commits {
+		t.Fatalf("ingest leg synced more than it committed: %+v", res.Ingest)
+	}
+	if res.Ingest.Freezes == 0 {
+		t.Fatalf("ingest tier never froze: %+v", res.Ingest)
+	}
+	if res.Speedup <= 0 || res.QPSRatio <= 0 {
+		t.Fatalf("ratios not filled: %+v", res)
+	}
+}

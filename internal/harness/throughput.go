@@ -72,17 +72,27 @@ func (s *slowStore) Read(id pager.PageID) (*pager.Page, error) {
 	return s.Store.Read(id)
 }
 
-// ThroughputResult reports one serving run.
+// ThroughputResult reports one serving run. Query and update throughput
+// are both first-class: UPS is the sustained update-pair rate actually
+// achieved over the run (the writer is paced, so it saturates at
+// cfg.UpdatesPerSec unless the exclusive latch starves it), and the
+// update percentiles time each pair's exclusive section including the
+// latch wait — the serving stall an update inflicts.
 type ThroughputResult struct {
-	Workers int           `json:"workers"`
-	Queries int           `json:"queries"`
-	Updates int           `json:"updates"`
-	Elapsed time.Duration `json:"-"`
-	QPS     float64       `json:"qps"`
-	P50     time.Duration `json:"-"`
-	P99     time.Duration `json:"-"`
-	P50us   float64       `json:"p50_us"`
-	P99us   float64       `json:"p99_us"`
+	Workers  int           `json:"workers"`
+	Queries  int           `json:"queries"`
+	Updates  int           `json:"updates"`
+	Elapsed  time.Duration `json:"-"`
+	QPS      float64       `json:"qps"`
+	UPS      float64       `json:"updates_per_sec"`
+	P50      time.Duration `json:"-"`
+	P99      time.Duration `json:"-"`
+	P50us    float64       `json:"p50_us"`
+	P99us    float64       `json:"p99_us"`
+	UpdP50   time.Duration `json:"-"`
+	UpdP99   time.Duration `json:"-"`
+	UpdP50us float64       `json:"upd_p50_us"`
+	UpdP99us float64       `json:"upd_p99_us"`
 	// Rebuilds counts mid-run bulk reindexes; RebuildMs is the exclusive
 	// latch hold time of the last one (0 when Rebuild is off).
 	Rebuilds  int     `json:"rebuilds"`
@@ -185,6 +195,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		errOnce   sync.Once
 		runErr    error
 		latencies = make([][]time.Duration, cfg.Workers)
+		updLat    []time.Duration // single writer: no lock needed
 	)
 	fail := func(err error) {
 		if err != nil {
@@ -257,6 +268,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 				warm(updates[i].Motion)
 				warm(updates[i+1].Motion)
 				mu.RUnlock()
+				t0 := time.Now()
 				mu.Lock()
 				err := apply(updates[i])
 				if err == nil {
@@ -268,6 +280,7 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 					}
 				}
 				mu.Unlock()
+				updLat = append(updLat, time.Since(t0))
 				if err != nil {
 					fail(fmt.Errorf("update %d: %w", i/2, err))
 					return
@@ -317,12 +330,12 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
+	sort.Slice(updLat, func(i, j int) bool { return updLat[i] < updLat[j] })
+	pctOf := func(l []time.Duration, p float64) time.Duration {
+		if len(l) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
+		return l[int(p*float64(len(l)-1))]
 	}
 	res := &ThroughputResult{
 		Workers:   cfg.Workers,
@@ -330,13 +343,18 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		Updates:   int(applied.Load()),
 		Elapsed:   elapsed,
 		QPS:       float64(served.Load()) / elapsed.Seconds(),
-		P50:       pct(0.50),
-		P99:       pct(0.99),
+		UPS:       float64(applied.Load()) / elapsed.Seconds(),
+		P50:       pctOf(all, 0.50),
+		P99:       pctOf(all, 0.99),
+		UpdP50:    pctOf(updLat, 0.50),
+		UpdP99:    pctOf(updLat, 0.99),
 		Rebuilds:  rebuilds,
 		RebuildMs: rebuildMs,
 	}
 	res.P50us = float64(res.P50.Nanoseconds()) / 1e3
 	res.P99us = float64(res.P99.Nanoseconds()) / 1e3
+	res.UpdP50us = float64(res.UpdP50.Nanoseconds()) / 1e3
+	res.UpdP99us = float64(res.UpdP99.Nanoseconds()) / 1e3
 	return res, nil
 }
 

@@ -37,6 +37,12 @@ func TestRunThroughput(t *testing.T) {
 		if res.Updates == 0 {
 			t.Fatalf("workers=%d: writer applied no updates", workers)
 		}
+		if res.UPS <= 0 {
+			t.Fatalf("workers=%d: sustained updates/sec not reported: %+v", workers, res)
+		}
+		if res.UpdP50 > res.UpdP99 || res.UpdP50us <= 0 {
+			t.Fatalf("workers=%d: update percentiles not filled: p50=%v p99=%v", workers, res.UpdP50, res.UpdP99)
+		}
 		if res.P50 > res.P99 {
 			t.Fatalf("workers=%d: p50 %v > p99 %v", workers, res.P50, res.P99)
 		}

@@ -1,0 +1,88 @@
+// Package ingest implements a log-structured write tier in front of an
+// assembled dual-transform index: motion updates land in an in-memory
+// memtable of upserts and tombstones over OID, the memtable freezes into
+// immutable sorted runs with per-run bloom filters, and when enough runs
+// accumulate the whole delta folds into the immutable bulk-loaded base
+// via one atomic reindex (core.DualBPlus.BulkLoad runs as a single WAL
+// batch on a batching store). Point lookups consult memtable → runs
+// (newest first, bloom-gated) → base; MOR queries merge the base answer
+// with the delta overlay and are byte-identical to a flat index holding
+// the same motions, at any executor worker count.
+package ingest
+
+import "math"
+
+// Bloom is a split-block-free classic bloom filter over uint64 keys,
+// using double hashing (two mixed halves of the key drive k probe
+// positions). It can return false positives, never false negatives: a
+// key that was Added always reports MayContain true.
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int
+}
+
+// NewBloom sizes a filter for n keys at bitsPerKey bits each. At 10
+// bits/key with the implied k≈7 hash functions the false-positive rate
+// is ~1%; the FPR test pins an upper bound.
+func NewBloom(n, bitsPerKey int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	m := uint64(n) * uint64(bitsPerKey)
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(bitsPerKey) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer, so sequential OIDs spread over the whole filter.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probes derives the double-hashing pair. h2 is forced odd so the probe
+// stride never collapses to zero modulo a power-of-two bit count.
+func (b *Bloom) probes(key uint64) (h1, h2 uint64) {
+	h1 = mix64(key)
+	h2 = mix64(key^0x9e3779b97f4a7c15) | 1
+	return h1, h2
+}
+
+// Add records key in the filter.
+func (b *Bloom) Add(key uint64) {
+	h1, h2 := b.probes(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether key might be in the filter. False means
+// definitely absent.
+func (b *Bloom) MayContain(key uint64) bool {
+	h1, h2 := b.probes(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

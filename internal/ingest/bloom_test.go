@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives: every added key must report MayContain.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBloom(10000, 10)
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		b.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !b.MayContain(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+// TestBloomFPR pins the false-positive rate at the default 10 bits/key:
+// theory says ~0.8–1%; assert a 3% ceiling so the test is stable while
+// still catching a broken hash (which would push FPR toward 100%), and a
+// floor so a filter that degenerated to always-false cannot pass.
+func TestBloomFPR(t *testing.T) {
+	const n = 20000
+	b := NewBloom(n, 10)
+	// Members: even keys mixed into a wide range; probes: odd keys.
+	for i := 0; i < n; i++ {
+		b.Add(uint64(i) * 2)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if b.MayContain(uint64(i)*2 + 1) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("FPR %.4f exceeds 3%% at 10 bits/key", rate)
+	}
+	if rate == 0 {
+		t.Fatal("FPR exactly 0 over 100k probes; filter is suspiciously selective")
+	}
+}
+
+// TestBloomTinyAndClamp: degenerate sizes still work and never false-negative.
+func TestBloomTinyAndClamp(t *testing.T) {
+	for _, tc := range []struct{ n, bpk int }{{0, 0}, {1, 1}, {3, 100}, {1000000, 1}} {
+		b := NewBloom(tc.n, tc.bpk)
+		for k := uint64(0); k < 50; k++ {
+			b.Add(k)
+		}
+		for k := uint64(0); k < 50; k++ {
+			if !b.MayContain(k) {
+				t.Fatalf("n=%d bpk=%d: false negative for %d", tc.n, tc.bpk, k)
+			}
+		}
+	}
+}
+
+// FuzzBloom is the satellite fuzz target: for arbitrary key sets and
+// filter shapes, an added key must never be reported absent.
+func FuzzBloom(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), 10, 16)
+	f.Add(uint64(0), uint64(0), ^uint64(0), 1, 1)
+	f.Add(uint64(42), uint64(1<<40), uint64(7), 30, 3)
+	f.Fuzz(func(t *testing.T, k1, k2, k3 uint64, bpk, n int) {
+		if bpk < 0 {
+			bpk = -bpk
+		}
+		if n < 0 {
+			n = -n
+		}
+		b := NewBloom(n%4096, bpk%64)
+		keys := []uint64{k1, k2, k3, k1 ^ k2, k2 ^ k3}
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.MayContain(k) {
+				t.Fatalf("false negative: key %d (n=%d bpk=%d)", k, n%4096, bpk%64)
+			}
+		}
+	})
+}

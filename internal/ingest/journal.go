@@ -1,0 +1,220 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+// Journal is a durable append-only log of tier ops on a page chain: the
+// standalone counterpart of the shard's motion catalog, for callers that
+// run a Tier directly over a WALStore. Each writer appends its delta ops
+// in the same transaction (implicit batch or explicit pager.Txn) as its
+// other work; after a merge folds the delta into the base, Reset
+// truncates the chain — the base now covers every logged op. On
+// recovery, AttachJournal walks the chain and Ops feeds Tier.Replay.
+//
+// Mutating methods take the store to write through explicitly, because
+// the durable pages outlive any one pager.Txn handle: each commit cycle
+// passes its own transaction. The in-memory cursor mirrors staged state,
+// so a journal whose transaction failed to commit must be re-attached
+// before further use.
+//
+// PageWriter is the slice of pager.Store the journal needs; *pager.Txn
+// satisfies it too (a transaction handle cannot answer store-wide
+// questions like PagesInUse, so it is not a full Store).
+type PageWriter interface {
+	PageSize() int
+	Allocate() (*pager.Page, error)
+	Read(id pager.PageID) (*pager.Page, error)
+	Write(p *pager.Page) error
+	Free(id pager.PageID) error
+}
+
+type Journal struct {
+	head     pager.PageID
+	pages    []pager.PageID // full chain including head
+	tailUsed int            // bytes of records in the tail page
+	records  int
+}
+
+const (
+	// jrnRecLen is op(1) + oid(8) + y0/t0/v(3×8), the catalog record shape.
+	jrnRecLen = 33
+	// jrnHeaderLen is next(4) + used(4); a trailing CRC closes the page.
+	jrnHeaderLen = 8
+
+	jrnOpInsert = 1
+	jrnOpDelete = 2
+)
+
+var jrnCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func jrnCap(pageSize int) int {
+	n := (pageSize - jrnHeaderLen - 4) / jrnRecLen
+	return n * jrnRecLen
+}
+
+// NewJournal allocates an empty journal inside the caller's open
+// transaction. Persist Head somewhere durable to find it again.
+func NewJournal(st PageWriter) (*Journal, error) {
+	p, err := st.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{head: p.ID, pages: []pager.PageID{p.ID}}
+	if err := j.writePage(st, p.ID, pager.NilPage, nil); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// AttachJournal walks the chain from head, rebuilding the cursor.
+func AttachJournal(st PageWriter, head pager.PageID) (*Journal, error) {
+	j := &Journal{head: head}
+	id := head
+	for hops := 0; ; hops++ {
+		if hops > 1<<22 {
+			return nil, fmt.Errorf("ingest: journal from %d: cycle: %w", head, pager.ErrPageCorrupt)
+		}
+		recs, next, err := j.readPage(st, id)
+		if err != nil {
+			return nil, err
+		}
+		j.pages = append(j.pages, id)
+		j.tailUsed = len(recs)
+		j.records += len(recs) / jrnRecLen
+		if next == pager.NilPage {
+			return j, nil
+		}
+		id = next
+	}
+}
+
+// Head returns the chain's stable head page.
+func (j *Journal) Head() pager.PageID { return j.head }
+
+// Records returns the number of logged ops.
+func (j *Journal) Records() int { return j.records }
+
+func (j *Journal) readPage(st PageWriter, id pager.PageID) (recs []byte, next pager.PageID, err error) {
+	p, err := st.Read(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	data := p.Data
+	if crc32.Checksum(data[:len(data)-4], jrnCRCTable) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, 0, fmt.Errorf("ingest: journal page %d: bad checksum: %w", id, pager.ErrPageCorrupt)
+	}
+	next = pager.PageID(binary.LittleEndian.Uint32(data[0:4]))
+	used := int(binary.LittleEndian.Uint32(data[4:8]))
+	if used < 0 || used > jrnCap(len(data)) || used%jrnRecLen != 0 {
+		return nil, 0, fmt.Errorf("ingest: journal page %d: used %d: %w", id, used, pager.ErrPageCorrupt)
+	}
+	return data[jrnHeaderLen : jrnHeaderLen+used], next, nil
+}
+
+func (j *Journal) writePage(st PageWriter, id, next pager.PageID, recs []byte) error {
+	pageSize := st.PageSize()
+	data := make([]byte, pageSize)
+	binary.LittleEndian.PutUint32(data[0:4], uint32(next))
+	binary.LittleEndian.PutUint32(data[4:8], uint32(len(recs)))
+	copy(data[jrnHeaderLen:], recs)
+	binary.LittleEndian.PutUint32(data[pageSize-4:], crc32.Checksum(data[:pageSize-4], jrnCRCTable))
+	return st.Write(&pager.Page{ID: id, Data: data})
+}
+
+// Append logs ops, growing the chain as tail pages fill. Must run inside
+// an open transaction on st.
+func (j *Journal) Append(st PageWriter, ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	cap_ := jrnCap(st.PageSize())
+	tail := j.pages[len(j.pages)-1]
+	recs, _, err := j.readPage(st, tail)
+	if err != nil {
+		return err
+	}
+	// Work on a copy: recs aliases the store's page buffer.
+	cur := append(make([]byte, 0, cap_), recs...)
+	for _, op := range ops {
+		if len(cur) == cap_ {
+			p, err := st.Allocate()
+			if err != nil {
+				return err
+			}
+			if err := j.writePage(st, tail, p.ID, cur); err != nil {
+				return err
+			}
+			tail = p.ID
+			j.pages = append(j.pages, tail)
+			cur = cur[:0]
+		}
+		opByte := byte(jrnOpDelete)
+		if op.Insert {
+			opByte = jrnOpInsert
+		}
+		cur = append(cur, opByte)
+		cur = binary.LittleEndian.AppendUint64(cur, uint64(op.M.OID))
+		cur = binary.LittleEndian.AppendUint64(cur, math.Float64bits(op.M.Y0))
+		cur = binary.LittleEndian.AppendUint64(cur, math.Float64bits(op.M.T0))
+		cur = binary.LittleEndian.AppendUint64(cur, math.Float64bits(op.M.V))
+		j.records++
+	}
+	if err := j.writePage(st, tail, pager.NilPage, cur); err != nil {
+		return err
+	}
+	j.tailUsed = len(cur)
+	return nil
+}
+
+// Ops decodes the full log in append order, for Tier.Replay.
+func (j *Journal) Ops(st PageWriter) ([]Op, error) {
+	out := make([]Op, 0, j.records)
+	for _, id := range j.pages {
+		recs, _, err := j.readPage(st, id)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(recs); off += jrnRecLen {
+			rec := recs[off : off+jrnRecLen]
+			var op Op
+			switch rec[0] {
+			case jrnOpInsert:
+				op.Insert = true
+			case jrnOpDelete:
+			default:
+				return nil, fmt.Errorf("ingest: journal page %d: bad op %d: %w", id, rec[0], pager.ErrPageCorrupt)
+			}
+			op.M.OID = dual.OID(binary.LittleEndian.Uint64(rec[1:9]))
+			op.M.Y0 = math.Float64frombits(binary.LittleEndian.Uint64(rec[9:17]))
+			op.M.T0 = math.Float64frombits(binary.LittleEndian.Uint64(rec[17:25]))
+			op.M.V = math.Float64frombits(binary.LittleEndian.Uint64(rec[25:33]))
+			out = append(out, op)
+		}
+	}
+	return out, nil
+}
+
+// Reset truncates the log: overflow pages are freed, the head page is
+// emptied and stays stable. Call after a merge made the delta redundant;
+// must run inside an open transaction on st.
+func (j *Journal) Reset(st PageWriter) error {
+	for _, id := range j.pages[1:] {
+		if err := st.Free(id); err != nil {
+			return err
+		}
+	}
+	j.pages = j.pages[:1]
+	if err := j.writePage(st, j.head, pager.NilPage, nil); err != nil {
+		return err
+	}
+	j.tailUsed = 0
+	j.records = 0
+	return nil
+}

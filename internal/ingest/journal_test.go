@@ -1,0 +1,119 @@
+package ingest
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"mobidx/internal/dual"
+	"mobidx/internal/pager"
+)
+
+func openJournalWAL(t *testing.T) (*pager.WALStore, *pager.MemLog) {
+	t.Helper()
+	log := pager.NewMemLog()
+	w, err := pager.OpenWALStore(pager.NewMemStore(256), log, pager.WALConfig{GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, log
+}
+
+// TestJournalRoundTrip: ops appended across several transactions decode
+// back in order, survive a crash-reopen, and Reset truncates.
+func TestJournalRoundTrip(t *testing.T) {
+	w, log := openJournalWAL(t)
+	rng := rand.New(rand.NewSource(3))
+
+	var j *Journal
+	txn, err := w.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, err = NewJournal(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Many appends across transactions, enough to grow several pages
+	// (256-byte pages hold 6 records each).
+	var want []Op
+	for round := 0; round < 10; round++ {
+		var ops []Op
+		for i := 0; i < 5; i++ {
+			ops = append(ops, Op{
+				Insert: rng.Intn(2) == 0,
+				M: dual.Motion{
+					OID: dual.OID(rng.Intn(100)),
+					Y0:  rng.Float64() * 100,
+					T0:  rng.Float64() * 50,
+					V:   1 + rng.Float64(),
+				},
+			})
+		}
+		txn, err := w.BeginTxn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(txn, ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ops...)
+	}
+	got, err := j.Ops(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(want, got) {
+		t.Fatalf("round trip: got %d ops, want %d", len(got), len(want))
+	}
+
+	// Crash-reopen (no Close): the journal must reattach from its head
+	// and decode identically.
+	head := j.Head()
+	w2, err := pager.OpenWALStore(pager.NewMemStore(256), pager.NewMemLogFrom(log.Bytes()), pager.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := AttachJournal(w2, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Records() != len(want) {
+		t.Fatalf("reattached Records=%d, want %d", j2.Records(), len(want))
+	}
+	got2, err := j2.Ops(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(want, got2) {
+		t.Fatal("reattached journal decodes differently")
+	}
+
+	// Reset truncates; the head page survives and a fresh append works.
+	txn2, err := w.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Reset(txn2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(txn2, want[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got3, err := j.Ops(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(want[:3], got3) {
+		t.Fatalf("after Reset+Append: got %d ops, want 3", len(got3))
+	}
+}

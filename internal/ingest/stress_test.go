@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mobidx/internal/core"
+	"mobidx/internal/dual"
+	"mobidx/internal/leakcheck"
+)
+
+// TestTierConcurrentAddQuery races writers (each owning a disjoint OID
+// band, so the strict delete-exact discipline holds without cross-writer
+// coordination) against query and point-lookup readers, across many
+// freeze and merge boundaries. Run under -race this is the tier's
+// data-race gate.
+func TestTierConcurrentAddQuery(t *testing.T) {
+	leakcheck.Check(t)
+	tier, err := New(newBase(t), Config{Terrain: testTerrain, MemtableFlush: 64, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			cur := make(map[dual.OID]dual.Motion)
+			now := 0.0
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now += 0.25
+				id := dual.OID(g*1000 + rng.Intn(200))
+				m := motionAt(rng, id, now)
+				var ops []Op
+				if old, live := cur[id]; live {
+					ops = append(ops, Op{Insert: false, M: old})
+				}
+				ops = append(ops, Op{Insert: true, M: m})
+				if _, err := tier.Add(ops); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+				cur[id] = m
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			exec := core.NewExecutor(2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := morAt(rng, 200)
+				if _, err := tier.QueryParallelCtx(t.Context(), exec, q); err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if _, _, err := tier.Get(dual.OID(rng.Intn(4000))); err != nil {
+					t.Errorf("reader %d get: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	st := tier.Stats()
+	if st.Freezes == 0 || st.Merges == 0 {
+		t.Fatalf("stress never crossed a flush boundary: %+v", st)
+	}
+}
+
+// TestTierCloseUnderLoad is the leakcheck gate for the close path: Close
+// fires while writers and readers hammer the tier; every goroutine must
+// observe ErrClosed (or a pre-close success) and drain.
+func TestTierCloseUnderLoad(t *testing.T) {
+	leakcheck.Check(t)
+	tier, err := New(newBase(t), Config{Terrain: testTerrain, MemtableFlush: 32, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			now := 0.0
+			for i := 0; ; i++ {
+				now += 0.25
+				m := motionAt(rng, dual.OID(g*100000+i), now)
+				if _, err := tier.Add([]Op{{Insert: true, M: m}}); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(50 + g)))
+			for {
+				if _, err := tier.Query(morAt(rng, 100)); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

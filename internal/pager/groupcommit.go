@@ -1,0 +1,204 @@
+// Group commit: coalescing concurrent WAL commits onto shared log syncs.
+//
+// Without it, every commit pays its own log.Sync() under the store latch,
+// so sustained commit rate is bounded by the sync rate no matter how many
+// writers there are. With WALConfig.GroupCommit, a commit appends its
+// records and applies its batch under the latch (fast, memory-speed),
+// then waits on the groupSyncer for a sync that covers its commit record.
+// The syncer runs a leader/follower protocol:
+//
+//   - The first waiter of a round becomes the leader. If the round is
+//     still smaller than the previous round — the signal that concurrent
+//     committers are in flight even though they have not reached the
+//     syncer yet — it lingers up to CommitLinger so the round grows; the
+//     linger is cut short as soon as the round reaches the previous
+//     round's size (or MaxCommitQueue commits pile up), because timer
+//     granularity is often far coarser than the gap between hot
+//     committers. A committer that is alone by both signals syncs
+//     immediately and pays no linger. The adaptivity matters under
+//     sustained concurrency: after a round releases W writers they all
+//     re-enter within microseconds of each other, and a leader that
+//     synced the instant it arrived would strand the other W-1 across
+//     two syncs.
+//   - The leader snapshots the highest appended commit LSN, releases the
+//     syncer lock, issues ONE log.Sync(), and publishes the new durable
+//     horizon. Every waiter at or below it returns; later arrivals form
+//     the next round.
+//   - Commits that became durable by other means — a checkpoint folded
+//     the log into the synced base and truncated it — are released by
+//     noteDurable without any log sync.
+//
+// Per-commit durability is unchanged: Commit returns only after its
+// commit record is covered by a completed sync (or checkpoint). A sync
+// failure leaves the durable horizon unknown, so it is sticky: every
+// current and future waiter fails, and the WALStore poisons itself.
+package pager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// groupSyncer is the shared sync state of one WALStore. All fields are
+// guarded by mu except the LogFile, which is called with mu released.
+type groupSyncer struct {
+	log      LogFile
+	linger   time.Duration
+	maxQueue int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	appended uint64        // highest commit LSN appended to the log
+	synced   uint64        // highest LSN covered by a completed sync/checkpoint
+	syncing  bool          // a leader is lingering or syncing
+	waiting  int           // committers inside waitDurable
+	wake     chan struct{} // cuts the current leader's linger short
+	err      error         // sticky sync failure
+	commits  uint64        // waitDurable calls (for coalescing stats)
+	syncs    uint64        // log.Sync calls issued
+	appends  uint64        // commit records appended (noteAppend calls)
+	lastSize uint64        // appends the previous round coalesced (linger signal)
+	start    uint64        // appends at the previous round's snapshot
+}
+
+func newGroupSyncer(log LogFile, linger time.Duration, maxQueue int, durableLSN uint64) *groupSyncer {
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	g := &groupSyncer{
+		log:      log,
+		linger:   linger,
+		maxQueue: maxQueue,
+		appended: durableLSN,
+		synced:   durableLSN,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// noteAppend records that the commit record at lsn is fully appended to
+// the log. Called under the store latch after the append, so the log
+// bytes happen-before any sync that claims to cover them.
+func (g *groupSyncer) noteAppend(lsn uint64) {
+	g.mu.Lock()
+	if lsn > g.appended {
+		g.appended = lsn
+	}
+	g.appends++
+	if g.wake != nil && g.appends-g.start >= g.lastSize {
+		// The round has grown to the previous round's size: everyone the
+		// linger was waiting for has appended (each append precedes its
+		// waitDurable), so cut the linger short — timer granularity is
+		// often far coarser than the gap between hot committers.
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+	}
+	g.mu.Unlock()
+}
+
+// noteDurable records durability achieved without a log sync (a
+// checkpoint synced the base past lsn) and releases covered waiters.
+func (g *groupSyncer) noteDurable(lsn uint64) {
+	g.mu.Lock()
+	if lsn > g.synced {
+		g.synced = lsn
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// shutdown fails every current and future waiter that is not already
+// covered by the durable horizon.
+func (g *groupSyncer) shutdown(cause error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = cause
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// waitDurable blocks until a completed sync (or checkpoint) covers lsn,
+// leading a sync round when none is in flight.
+func (g *groupSyncer) waitDurable(lsn uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.commits++
+	g.waiting++
+	defer func() { g.waiting-- }()
+	if g.wake != nil && g.waiting >= g.maxQueue {
+		// The queue is full: tell the lingering leader to sync now.
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+	}
+	for {
+		// Durability first: a commit the close checkpoint covered must
+		// return nil even when shutdown has already been signalled.
+		if g.synced >= lsn {
+			return nil
+		}
+		if g.err != nil {
+			return g.err
+		}
+		if g.syncing {
+			g.cond.Wait()
+			continue
+		}
+
+		// Lead one round.
+		g.syncing = true
+		wake := make(chan struct{}, 1)
+		g.wake = wake
+		if g.linger > 0 && g.waiting < g.maxQueue &&
+			(g.appends-g.start < g.lastSize || (g.lastSize <= 1 && g.waiting > 1)) {
+			g.mu.Unlock()
+			t := time.NewTimer(g.linger)
+			select {
+			case <-wake:
+			case <-t.C:
+			}
+			t.Stop()
+			g.mu.Lock()
+		}
+		target := g.appended
+		// The append count this round coalesced is the concurrency
+		// signal future lingers aim for: with W hot writers each round
+		// settles at W, so the next leader holds its sync exactly until
+		// the other W-1 commits of its own round have appended.
+		if n := g.appends - g.start; n > 0 {
+			g.lastSize = n
+		}
+		g.start = g.appends
+		g.mu.Unlock()
+		serr := g.log.Sync()
+		g.mu.Lock()
+		g.syncs++
+		g.syncing = false
+		g.wake = nil
+		if serr != nil {
+			if g.err == nil {
+				g.err = fmt.Errorf("pager: group commit sync: %w", serr)
+			}
+		} else if target > g.synced {
+			g.synced = target
+		}
+		g.cond.Broadcast()
+	}
+}
+
+// GroupCommitStats reports group-commit coalescing: commits that waited
+// on the shared syncer and log syncs actually issued. Both are zero when
+// GroupCommit is off. commits/syncs is the average group size.
+func (w *WALStore) GroupCommitStats() (commits, syncs uint64) {
+	if w.gc == nil {
+		return 0, 0
+	}
+	w.gc.mu.Lock()
+	defer w.gc.mu.Unlock()
+	return w.gc.commits, w.gc.syncs
+}

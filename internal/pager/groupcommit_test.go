@@ -1,0 +1,355 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobidx/internal/leakcheck"
+)
+
+func openGroupWAL(t *testing.T, cfg WALConfig) (*WALStore, *MemStore, *MemLog) {
+	t.Helper()
+	base := NewMemStore(walTestPageSize)
+	log := NewMemLog()
+	w, err := OpenWALStore(base, log, cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return w, base, log
+}
+
+// TestTxnBasic drives one explicit transaction through the full page
+// lifecycle and checks isolation from non-txn readers until Commit.
+func TestTxnBasic(t *testing.T) {
+	w, _, _ := openGroupWAL(t, WALConfig{})
+	txn, err := w.BeginTxn()
+	if err != nil {
+		t.Fatalf("begin txn: %v", err)
+	}
+	p, err := txn.Allocate()
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	img := walPattern(walTestPageSize, 0x5a)
+	if err := txn.Write(&Page{ID: p.ID, Data: img}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// The txn reads its own staging...
+	got, err := txn.Read(p.ID)
+	if err != nil || !bytes.Equal(got.Data, img) {
+		t.Fatalf("txn read = %v, mismatch %v", err, !bytes.Equal(got.Data, img))
+	}
+	// ...but the store does not see it yet (the page is allocated with
+	// unspecified contents until the txn commits).
+	if sp, err := w.Read(p.ID); err == nil && bytes.Equal(sp.Data, img) {
+		t.Fatal("uncommitted txn write visible through the store")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	got, err = w.Read(p.ID)
+	if err != nil || !bytes.Equal(got.Data, img) {
+		t.Fatalf("post-commit read = %v, mismatch %v", err, !bytes.Equal(got.Data, img))
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit = %v, want ErrTxnDone", err)
+	}
+	if _, err := txn.Read(p.ID); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("read after commit = %v, want ErrTxnDone", err)
+	}
+}
+
+// TestTxnRollback checks that a rolled-back transaction leaves no trace:
+// its allocation returns to the free list, so the allocator's id
+// sequence matches a run in which the txn never existed.
+func TestTxnRollback(t *testing.T) {
+	w, _, _ := openGroupWAL(t, WALConfig{})
+	txn, err := w.BeginTxn()
+	if err != nil {
+		t.Fatalf("begin txn: %v", err)
+	}
+	p, err := txn.Allocate()
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if err := txn.Write(&Page{ID: p.ID, Data: walPattern(walTestPageSize, 1)}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	p2, err := w.Allocate()
+	if err != nil {
+		t.Fatalf("alloc after rollback: %v", err)
+	}
+	if p2.ID != p.ID {
+		t.Fatalf("allocator reused id %d, want rolled-back id %d", p2.ID, p.ID)
+	}
+}
+
+// TestTxnIsolationFromImplicitBatch: a Txn must not observe the implicit
+// batch's staged writes, and vice versa, while both are open.
+func TestTxnIsolationFromImplicitBatch(t *testing.T) {
+	w, _, _ := openGroupWAL(t, WALConfig{})
+	// Committed page both sides read.
+	shared, err := w.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := walPattern(walTestPageSize, 7)
+	if err := w.Write(&Page{ID: shared.ID, Data: base}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	staged := walPattern(walTestPageSize, 8)
+	if err := w.Write(&Page{ID: shared.ID, Data: staged}); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := w.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := txn.Read(shared.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, base) {
+		t.Fatal("txn read observed the implicit batch's uncommitted staging")
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitConcurrentTxns is the race-gated group-commit contract
+// test: N goroutines run Begin/Commit cycles through explicit txns on
+// one store; every committed batch must be durable (byte-exact after a
+// reopen from the surviving log) and commit LSNs must be monotone (the
+// reopen's LSN-continuity scan enforces that). With a linger window the
+// syncer must actually coalesce: strictly fewer syncs than commits.
+func TestGroupCommitConcurrentTxns(t *testing.T) {
+	leakcheck.Check(t)
+	const writers, rounds = 8, 25
+	base := NewMemStore(walTestPageSize)
+	// A sync that takes real time, like a disk's: commits arriving while
+	// the leader syncs pile into the next round — that pile-up is what
+	// group commit exists to exploit, and what the stats check asserts.
+	log := &slowSyncLog{MemLog: NewMemLog(), d: 200 * time.Microsecond}
+	w, err := OpenWALStore(base, log, WALConfig{
+		GroupCommit:    true,
+		CommitLinger:   200 * time.Microsecond,
+		MaxCommitQueue: 16,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// Pre-allocate one page per (writer, round) so concurrent txns stay
+	// page-disjoint, as the Txn contract requires.
+	ids := make([][]PageID, writers)
+	for g := 0; g < writers; g++ {
+		ids[g] = make([]PageID, rounds)
+		for r := 0; r < rounds; r++ {
+			p, err := w.Allocate()
+			if err != nil {
+				t.Fatalf("prealloc: %v", err)
+			}
+			ids[g][r] = p.ID
+			if err := w.Write(&Page{ID: p.ID, Data: make([]byte, walTestPageSize)}); err != nil {
+				t.Fatalf("prewrite: %v", err)
+			}
+		}
+	}
+
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				txn, err := w.BeginTxn()
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				tag := byte(g*rounds + r)
+				if err := txn.Write(&Page{ID: ids[g][r], Data: walPattern(walTestPageSize, tag)}); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := txn.Commit(); err != nil {
+					errs[g] = err
+					return
+				}
+				committed.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", g, err)
+		}
+	}
+	if got := committed.Load(); got != writers*rounds {
+		t.Fatalf("committed %d, want %d", got, writers*rounds)
+	}
+	commits, syncs := w.GroupCommitStats()
+	if commits < writers*rounds {
+		t.Fatalf("syncer saw %d commits, want >= %d", commits, writers*rounds)
+	}
+	if syncs == 0 || syncs >= commits {
+		t.Fatalf("no coalescing: %d syncs for %d commits", syncs, commits)
+	}
+
+	// Durability: reopen a fresh WALStore over the raw surviving bytes
+	// (no Close, no checkpoint — the log alone must carry every committed
+	// batch; its LSN-continuity scan also proves commit-LSN monotonicity).
+	survivorLog := NewMemLogFrom(log.Bytes())
+	w2, err := OpenWALStore(base, survivorLog, WALConfig{})
+	if err != nil {
+		t.Fatalf("reopen from surviving log: %v", err)
+	}
+	for g := 0; g < writers; g++ {
+		for r := 0; r < rounds; r++ {
+			p, err := w2.Read(ids[g][r])
+			if err != nil {
+				t.Fatalf("recovered read %d/%d: %v", g, r, err)
+			}
+			if want := walPattern(walTestPageSize, byte(g*rounds+r)); !bytes.Equal(p.Data, want) {
+				t.Fatalf("page %d: recovered image differs from committed", ids[g][r])
+			}
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("close recovered: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close original: %v", err)
+	}
+}
+
+// TestGroupCommitImplicitBatch: the implicit single-writer protocol must
+// keep its exact semantics under GroupCommit — commit durable on return,
+// auto-checkpoint still honored.
+func TestGroupCommitImplicitBatch(t *testing.T) {
+	w, base, log := openGroupWAL(t, WALConfig{GroupCommit: true})
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		err := RunBatch(w, func() error {
+			p, err := w.Allocate()
+			if err != nil {
+				return err
+			}
+			ids = append(ids, p.ID)
+			return w.Write(&Page{ID: p.ID, Data: walPattern(walTestPageSize, byte(i))})
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	w2, err := OpenWALStore(base, NewMemLogFrom(log.Bytes()), WALConfig{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for i, id := range ids {
+		p, err := w2.Read(id)
+		if err != nil || !bytes.Equal(p.Data, walPattern(walTestPageSize, byte(i))) {
+			t.Fatalf("batch %d not durable after recovery (err %v)", i, err)
+		}
+	}
+	if err := errors.Join(w2.Close(), w.Close()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitCheckpointReleasesWaiters: a checkpoint that folds the
+// log into the synced base must release group-commit waiters without a
+// log sync — their batches are durable through the base.
+func TestGroupCommitCheckpointReleasesWaiters(t *testing.T) {
+	leakcheck.Check(t)
+	w, _, _ := openGroupWAL(t, WALConfig{GroupCommit: true, AutoCheckpointBytes: 1})
+	// Every commit's durability wait is followed by an auto-checkpoint
+	// (threshold 1 byte), which advances the durable horizon; the next
+	// commit must still complete. This exercises noteDurable.
+	for i := 0; i < 4; i++ {
+		if err := RunBatch(w, func() error {
+			p, err := w.Allocate()
+			if err != nil {
+				return err
+			}
+			return w.Write(&Page{ID: p.ID, Data: walPattern(walTestPageSize, byte(i))})
+		}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if w.LogSize() > walHeaderLen {
+			t.Fatalf("batch %d: auto-checkpoint did not truncate the log", i)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitSyncFailurePoisons: a failed group sync leaves the
+// durable horizon unknown; every waiter must fail and the store must
+// poison itself.
+func TestGroupCommitSyncFailurePoisons(t *testing.T) {
+	base := NewMemStore(walTestPageSize)
+	log := &failingSyncLog{MemLog: NewMemLog()}
+	w, err := OpenWALStore(base, log, WALConfig{GroupCommit: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	log.fail.Store(true)
+	err = RunBatch(w, func() error {
+		p, err := w.Allocate()
+		if err != nil {
+			return err
+		}
+		return w.Write(&Page{ID: p.ID, Data: walPattern(walTestPageSize, 3)})
+	})
+	if !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("commit after sync failure = %v, want ErrStoreFailed", err)
+	}
+	if err := w.Write(&Page{ID: 1, Data: walPattern(walTestPageSize, 4)}); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("write on poisoned store = %v, want ErrStoreFailed", err)
+	}
+}
+
+// slowSyncLog models a device with a real sync cost.
+type slowSyncLog struct {
+	*MemLog
+	d time.Duration
+}
+
+func (l *slowSyncLog) Sync() error {
+	time.Sleep(l.d)
+	return l.MemLog.Sync()
+}
+
+// failingSyncLog fails Sync on demand (header/init syncs succeed).
+type failingSyncLog struct {
+	*MemLog
+	fail atomic.Bool
+}
+
+func (l *failingSyncLog) Sync() error {
+	if l.fail.Load() {
+		return fmt.Errorf("injected sync failure")
+	}
+	return l.MemLog.Sync()
+}

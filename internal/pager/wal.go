@@ -72,6 +72,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // Typed failures of the write-ahead log layer.
@@ -389,12 +390,32 @@ func decodeWALRecord(b []byte, pageSize int) (walRecord, error) {
 }
 
 // WALConfig configures a WALStore. The zero value checkpoints only on
-// demand.
+// demand and syncs the log inside every commit.
 type WALConfig struct {
 	// AutoCheckpointBytes runs a checkpoint after any commit that leaves
 	// the log at or beyond this size, keeping the log bounded. Zero
 	// disables automatic checkpoints.
 	AutoCheckpointBytes int64
+
+	// GroupCommit coalesces concurrent commits onto shared log syncs: a
+	// committer appends its records and applies its batch under the store
+	// latch, then waits — latch released — until a sync covers its commit
+	// record. The first waiter of a round leads it (see groupSyncer), so N
+	// concurrent writers pay roughly one sync per round instead of one
+	// each, while every Commit still returns only after its own batch is
+	// durable. Off, commits keep the strict append-sync-apply sequence.
+	GroupCommit bool
+	// CommitLinger is how long a group-commit leader waits for more
+	// committers to join its sync round before issuing the sync. A leader
+	// lingers only when other committers are already waiting — a lone
+	// committer syncs immediately — so the knob trades tail latency for
+	// batching under load and costs nothing when idle. Ignored without
+	// GroupCommit.
+	CommitLinger time.Duration
+	// MaxCommitQueue cuts a leader's linger short once this many commits
+	// are waiting on the next sync (0 selects 64). Ignored without
+	// GroupCommit.
+	MaxCommitQueue int
 }
 
 // walBatch is the staged state of one open batch.
@@ -436,6 +457,7 @@ type WALStore struct {
 
 	table map[PageID][]byte // committed page images not yet checkpointed
 	batch *walBatch
+	gc    *groupSyncer // non-nil iff WALConfig.GroupCommit
 	stats counters
 	fail  error // poisoned: volatile state diverged from the log
 	done  bool  // closed
@@ -474,10 +496,13 @@ func OpenWALStore(base Store, log LogFile, cfg WALConfig) (*WALStore, error) {
 		if err := w.initialize(); err != nil {
 			return nil, err
 		}
-		return w, nil
-	}
-	if err := w.recover(size); err != nil {
+	} else if err := w.recover(size); err != nil {
 		return nil, err
+	}
+	if cfg.GroupCommit {
+		// Everything in the log (and everything replayed) is already
+		// durable, so the syncer starts with no sync debt.
+		w.gc = newGroupSyncer(log, cfg.CommitLinger, cfg.MaxCommitQueue, w.nextLSN-1)
 	}
 	return w, nil
 }
@@ -815,9 +840,14 @@ func (w *WALStore) Rollback() error {
 func (w *WALStore) rollbackLocked() error {
 	b := w.batch
 	w.batch = nil
-	// Reverse order restores the base free list exactly, keeping the
-	// allocator's future id sequence identical to a run in which this
-	// batch never existed (which is how the log will read).
+	return w.rollbackBatchLocked(b)
+}
+
+// rollbackBatchLocked returns a detached batch's base allocations (caller
+// holds mu). Reverse order restores the base free list exactly, keeping
+// the allocator's future id sequence identical to a run in which this
+// batch never existed (which is how the log will read).
+func (w *WALStore) rollbackBatchLocked(b *walBatch) error {
 	for i := len(b.allocs) - 1; i >= 0; i-- {
 		if err := w.base.Free(b.allocs[i]); err != nil {
 			return w.poison(fmt.Errorf("rollback free page %d: %w", b.allocs[i], err))
@@ -829,33 +859,58 @@ func (w *WALStore) rollbackLocked() error {
 // Commit implements Batcher: the outermost Commit appends the batch's
 // records and a commit record to the log, syncs it, and then applies the
 // batch — page images into the committed table, frees into the base
-// allocator. The batch is durable once Commit returns. An automatic
-// checkpoint may follow (WALConfig); its error is returned even though
-// the commit itself succeeded.
+// allocator. The batch is durable once Commit returns. Under GroupCommit
+// the sync is the shared group sync: the batch is applied under the
+// latch, then Commit waits — latch released — for a sync that covers its
+// commit record; the durable-on-return guarantee is identical. An
+// automatic checkpoint may follow (WALConfig); its error is returned
+// even though the commit itself succeeded.
 func (w *WALStore) Commit() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	lsn, wait, err := w.commitLocked()
+	w.mu.Unlock()
+	if err != nil || !wait {
+		return err
+	}
+	if err := w.waitDurable(lsn); err != nil {
+		return err
+	}
+	return w.maybeAutoCheckpoint()
+}
+
+// commitLocked resolves the implicit batch protocol (nesting, aborts)
+// and commits the outermost batch. wait is true when the caller must
+// still wait on the group syncer for durability.
+func (w *WALStore) commitLocked() (lsn uint64, wait bool, err error) {
 	if w.batch == nil {
-		return ErrNoBatch
+		return 0, false, ErrNoBatch
 	}
 	if w.batch.depth > 1 {
 		w.batch.depth--
-		return nil
+		return 0, false, nil
 	}
 	if w.batch.aborted {
-		err := w.rollbackLocked()
-		if err != nil {
-			return err
+		if err := w.rollbackLocked(); err != nil {
+			return 0, false, err
 		}
-		return ErrBatchAborted
+		return 0, false, ErrBatchAborted
 	}
 	if err := w.ok(); err != nil {
-		return err
+		return 0, false, err
 	}
 	b := w.batch
+	w.batch = nil
+	return w.commitBatchLocked(b)
+}
+
+// commitBatchLocked appends a detached batch's records and commit record
+// to the log, syncs (inline without the group syncer, deferred to the
+// shared group sync with it), and applies the batch to the volatile
+// state. The batch must already be detached from whatever handle staged
+// it (w.batch or a Txn).
+func (w *WALStore) commitBatchLocked(b *walBatch) (lsn uint64, wait bool, err error) {
 	if len(b.allocs) == 0 && len(b.writes) == 0 && len(b.frees) == 0 {
-		w.batch = nil
-		return nil
+		return 0, false, nil
 	}
 
 	// Append the records: allocations first (in allocation order — replay
@@ -908,6 +963,9 @@ func (w *WALStore) Commit() error {
 			return err
 		}
 		w.logSize = startSize // recomputed below on success
+		if w.gc != nil {
+			return nil // durability deferred to the group sync
+		}
 		return w.log.Sync()
 	}()
 	if appendErr != nil {
@@ -915,13 +973,14 @@ func (w *WALStore) Commit() error {
 		// next commit appends onto a clean boundary, then undo the batch.
 		w.nextLSN = startLSN
 		if terr := w.log.Truncate(startSize); terr != nil {
-			return w.poison(fmt.Errorf("commit append: %w; truncate: %w", appendErr, terr))
+			return 0, false, w.poison(fmt.Errorf("commit append: %w; truncate: %w", appendErr, terr))
 		}
-		if rerr := w.rollbackLocked(); rerr != nil {
-			return errors.Join(fmt.Errorf("pager: wal commit: %w", appendErr), rerr)
+		if rerr := w.rollbackBatchLocked(b); rerr != nil {
+			return 0, false, errors.Join(fmt.Errorf("pager: wal commit: %w", appendErr), rerr)
 		}
-		return fmt.Errorf("pager: wal commit: %w", appendErr)
+		return 0, false, fmt.Errorf("pager: wal commit: %w", appendErr)
 	}
+	commitLSN := w.nextLSN - 1
 	// Recompute the log size: records were appended one by one.
 	sz, err := w.log.Size()
 	if err == nil {
@@ -930,9 +989,13 @@ func (w *WALStore) Commit() error {
 		w.logSize = startSize // unknown; next checkpoint fixes it
 	}
 
-	// The batch is durable; apply it to the volatile state. The log is
-	// now the source of truth — an apply failure poisons the store.
-	w.batch = nil
+	// The batch is durable (or, under group commit, fully logged with its
+	// sync pending); apply it to the volatile state. The log is now the
+	// source of truth — an apply failure poisons the store. Applying
+	// before the group sync is safe because Commit does not return until
+	// the sync covers this batch: no caller can act on the new state
+	// before it is durable, and reads served meanwhile show state that is
+	// at worst about to become durable.
 	for _, id := range b.writeOrder {
 		if _, dead := b.freeSet[id]; dead {
 			continue
@@ -942,15 +1005,53 @@ func (w *WALStore) Commit() error {
 	for _, id := range b.frees {
 		delete(w.table, id)
 		if err := w.base.Free(id); err != nil {
-			return w.poison(fmt.Errorf("commit apply free page %d: %w", id, err))
+			return 0, false, w.poison(fmt.Errorf("commit apply free page %d: %w", id, err))
 		}
 	}
 	w.seq++
 
+	if w.gc != nil {
+		w.gc.noteAppend(commitLSN)
+		return commitLSN, true, nil
+	}
 	if w.cfg.AutoCheckpointBytes > 0 && w.logSize >= w.cfg.AutoCheckpointBytes {
 		if err := w.checkpointLocked(); err != nil {
-			return fmt.Errorf("pager: commit durable; auto-checkpoint: %w", err)
+			return 0, false, fmt.Errorf("pager: commit durable; auto-checkpoint: %w", err)
 		}
+	}
+	return commitLSN, false, nil
+}
+
+// waitDurable blocks on the group syncer until lsn is covered by a
+// completed sync. A sync failure leaves durability unknown, so it
+// poisons the store like any other post-append failure.
+func (w *WALStore) waitDurable(lsn uint64) error {
+	if err := w.gc.waitDurable(lsn); err != nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.fail != nil {
+			return w.fail
+		}
+		return w.poison(err)
+	}
+	return nil
+}
+
+// maybeAutoCheckpoint runs the configured auto-checkpoint after a group
+// commit's durability wait (without group commit the checkpoint runs
+// inline in commitBatchLocked). A concurrently opened batch skips it —
+// that batch's own commit will retry.
+func (w *WALStore) maybeAutoCheckpoint() error {
+	if w.cfg.AutoCheckpointBytes <= 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done || w.fail != nil || w.batch != nil || w.logSize < w.cfg.AutoCheckpointBytes {
+		return nil
+	}
+	if err := w.checkpointLocked(); err != nil {
+		return fmt.Errorf("pager: commit durable; auto-checkpoint: %w", err)
 	}
 	return nil
 }
@@ -1005,6 +1106,12 @@ func (w *WALStore) checkpointLocked() error {
 		return fmt.Errorf("pager: checkpoint truncate sync: %w", err)
 	}
 	w.logSize = walHeaderLen
+	if w.gc != nil {
+		// Everything at or below the watermark is durable in the base:
+		// waiters whose commit record the truncation just discarded are
+		// covered and must not wait for (or lead) another log sync.
+		w.gc.noteDurable(w.appliedLSN)
+	}
 	return nil
 }
 
@@ -1029,6 +1136,11 @@ func (w *WALStore) Close() error {
 		}
 	}
 	w.done = true
+	if w.gc != nil {
+		// Wake any remaining waiters: commits the close checkpoint made
+		// durable return nil; anything else fails with ErrStoreClosed.
+		w.gc.shutdown(ErrStoreClosed)
+	}
 	if err := w.log.Close(); err != nil {
 		errs = append(errs, err)
 	}

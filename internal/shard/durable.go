@@ -34,7 +34,14 @@ const (
 	sbMagic  = "MOBIDXSB"
 	catMagic = "MOBIDXCA"
 
-	sbVersion = 1
+	// sbVersion 2 added the flushed watermark (ingest tier). Version-1
+	// superblocks still decode: they predate the tier, so their base
+	// index covers the whole catalog (flushed = records).
+	sbVersion = 2
+
+	// sbFlushedAll is the decoded flushed value of a v1 superblock: the
+	// caller resolves it to the catalog's record count after attach.
+	sbFlushedAll = -1
 
 	// catRecLen is op(1) + oid(8) + y0/t0/v(3×8).
 	catRecLen = 33
@@ -57,6 +64,12 @@ func catCap(pageSize int) int {
 
 type superblock struct {
 	catHead pager.PageID
+	// flushed is the ingest-tier watermark: the base index covers exactly
+	// the first flushed catalog records; the suffix past it is the write
+	// tier's delta, replayed into the memtable on recovery. Shards without
+	// a tier keep flushed equal to the record count. Decoding a version-1
+	// superblock yields sbFlushedAll.
+	flushed int
 	meta    core.DualMeta
 }
 
@@ -71,6 +84,7 @@ func encodeSuperblock(sb superblock) []byte {
 	}
 	u32(sbVersion)
 	u32(uint32(sb.catHead))
+	u64(uint64(sb.flushed))
 	u32(uint32(len(sb.meta.Gens)))
 	for _, g := range sb.meta.Gens {
 		u64(uint64(g.Epoch))
@@ -114,7 +128,7 @@ func decodeSuperblock(buf []byte) (superblock, error) {
 		return bptree.Meta{Root: pager.PageID(r), Height: int(h), Size: int(n)}, ok1 && ok2 && ok3
 	}
 	ver, ok := u32()
-	if !ok || ver != sbVersion {
+	if !ok || (ver != 1 && ver != sbVersion) {
 		return corrupt(fmt.Sprintf("version %d", ver))
 	}
 	head, ok := u32()
@@ -122,6 +136,14 @@ func decodeSuperblock(buf []byte) (superblock, error) {
 		return corrupt("truncated catalog head")
 	}
 	sb.catHead = pager.PageID(head)
+	sb.flushed = sbFlushedAll
+	if ver >= 2 {
+		fl, ok := u64()
+		if !ok || fl > 1<<40 {
+			return corrupt("flushed watermark")
+		}
+		sb.flushed = int(fl)
+	}
 	nGens, ok := u32()
 	if !ok || nGens > 1<<20 {
 		return corrupt("generation count")
@@ -277,9 +299,29 @@ func decodeCatRec(rec []byte) (op byte, m dual.Motion) {
 	return op, m
 }
 
-// append logs the ops, growing the chain as tail pages fill. Must run in
-// the owner's open batch, after the ops were applied to the index.
+// append logs the ops and compacts the chain once tombstoned records
+// outnumber live ones — the flat (tierless) write path. Must run in the
+// owner's open batch, after the ops were applied to the index.
 func (c *catalog) append(ops []Op) error {
+	if err := c.appendRaw(ops); err != nil {
+		return err
+	}
+	if dead := c.records - c.live; dead > c.live+64 {
+		ms, err := c.motions()
+		if err != nil {
+			return err
+		}
+		return c.rewrite(ms)
+	}
+	return nil
+}
+
+// appendRaw logs the ops without ever compacting: the ingest write path,
+// where the base-covers-prefix invariant (superblock.flushed) forbids
+// reordering the log — compaction happens only at merge time, when the
+// whole catalog is rewritten from the tier's base. Must run in the
+// owner's open batch.
+func (c *catalog) appendRaw(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -319,14 +361,50 @@ func (c *catalog) append(ops []Op) error {
 		return err
 	}
 	c.tailUsed = len(cur)
-	if dead := c.records - c.live; dead > c.live+64 {
-		ms, err := c.motions()
-		if err != nil {
-			return err
-		}
-		return c.rewrite(ms)
-	}
 	return nil
+}
+
+// ops decodes the whole log in append order — the recovery feed for the
+// ingest tier, which splits it at the flushed watermark into the base
+// prefix and the delta suffix.
+func (c *catalog) ops() ([]Op, error) {
+	out := make([]Op, 0, c.records)
+	for _, id := range c.pages {
+		recs, _, err := c.readPage(id)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < len(recs); off += catRecLen {
+			op, m := decodeCatRec(recs[off : off+catRecLen])
+			out = append(out, Op{Insert: op == catOpInsert, M: m})
+		}
+	}
+	return out, nil
+}
+
+// motionsOfOps replays a slice of ops into the live motion multiset it
+// describes (insertion order preserved for the surviving inserts is not
+// guaranteed; the result is unsorted).
+func motionsOfOps(ops []Op) ([]dual.Motion, error) {
+	counts := make(map[dual.Motion]int)
+	for _, op := range ops {
+		if op.Insert {
+			counts[op.M]++
+		} else {
+			counts[op.M]--
+		}
+	}
+	var ms []dual.Motion
+	for m, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("shard: catalog prefix: motion %d deleted more than inserted: %w",
+				m.OID, pager.ErrPageCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			ms = append(ms, m)
+		}
+	}
+	return ms, nil
 }
 
 // rewrite replaces the log with plain inserts of ms (the BulkLoad and

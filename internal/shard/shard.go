@@ -9,6 +9,7 @@ import (
 	"mobidx/internal/bptree"
 	"mobidx/internal/core"
 	"mobidx/internal/dual"
+	"mobidx/internal/ingest"
 	"mobidx/internal/pager"
 	"mobidx/internal/subscribe"
 )
@@ -47,6 +48,42 @@ type Config struct {
 	WrapStore func(pager.Store) pager.Store
 	// AutoCheckpointBytes bounds the shard's WAL (0 disables).
 	AutoCheckpointBytes int64
+	// GroupCommit enables WAL group commit (pager.WALConfig.GroupCommit):
+	// concurrent commits against this shard's store coalesce onto shared
+	// log syncs. The shard's own Apply path is serialized under its write
+	// latch, so this matters when other committers — explicit pager.Txn
+	// writers such as per-writer ingest journals — share the store.
+	GroupCommit bool
+	// Ingest, when non-nil, puts a log-structured write tier in front of
+	// the shard's index: Apply lands ops in the tier's memtable instead of
+	// the B+-trees, and the trees are rebuilt by one atomic bulk reindex
+	// when enough frozen runs accumulate. The catalog then carries the
+	// tier's delta (superblock flushed watermark), so crash recovery stays
+	// exact: reattach the base, replay the suffix. An ingest shard requires
+	// unique live OIDs (the tier upserts per object); opening durable media
+	// that holds same-OID replicas with Ingest set fails.
+	Ingest *IngestConfig
+}
+
+// IngestConfig tunes the shard's optional write tier; zero values select
+// the ingest package defaults.
+type IngestConfig struct {
+	// MemtableFlush freezes the memtable into an immutable run at this
+	// many distinct OIDs (0 selects 2048).
+	MemtableFlush int
+	// MaxRuns triggers the fold into the base index (0 selects 4).
+	MaxRuns int
+	// BloomBitsPerKey sizes each run's bloom filter (0 selects 10).
+	BloomBitsPerKey int
+}
+
+func (ic *IngestConfig) tierConfig(tr dual.Terrain) ingest.Config {
+	return ingest.Config{
+		Terrain:         tr,
+		MemtableFlush:   ic.MemtableFlush,
+		MaxRuns:         ic.MaxRuns,
+		BloomBitsPerKey: ic.BloomBitsPerKey,
+	}
 }
 
 // Health is a shard's self-reported serving state.
@@ -88,6 +125,13 @@ type Shard struct {
 	sb    *chain         // superblock page chain
 	cat   *catalog       // durable motion log
 
+	// tier is the optional write tier (Config.Ingest); when non-nil the
+	// write path stages into it and queries go through it. flushed mirrors
+	// the superblock watermark: the base index covers exactly the first
+	// flushed catalog records. Tierless shards keep flushed = cat.records.
+	tier    *ingest.Tier
+	flushed int
+
 	// subs is the shard's continuous-query matcher: standing queries over
 	// exactly the motions this shard holds (replicas included — the router
 	// deduplicates). It is serving state, not durable state: Open re-seeds
@@ -123,7 +167,7 @@ func New(cfg Config) (*Shard, error) {
 // exactly the last committed batch's state.
 func Open(cfg Config, base pager.Store, log pager.LogFile) (*Shard, error) {
 	wal, err := pager.OpenWALStore(base, log,
-		pager.WALConfig{AutoCheckpointBytes: cfg.AutoCheckpointBytes})
+		pager.WALConfig{AutoCheckpointBytes: cfg.AutoCheckpointBytes, GroupCommit: cfg.GroupCommit})
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: open wal: %w", cfg.ID, err)
 	}
@@ -160,9 +204,49 @@ func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) 
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: attach catalog: %w", cfg.ID, err)
 		}
-		if cat.live != ix.Len() {
-			return nil, fmt.Errorf("shard %d: catalog holds %d live motions, index %d: %w",
-				cfg.ID, cat.live, ix.Len(), pager.ErrPageCorrupt)
+		flushed := rec.flushed
+		if flushed == sbFlushedAll {
+			flushed = cat.records // v1 superblock: no tier, base covers all
+		}
+		if flushed > cat.records {
+			return nil, fmt.Errorf("shard %d: flushed watermark %d past %d catalog records: %w",
+				cfg.ID, flushed, cat.records, pager.ErrPageCorrupt)
+		}
+		s := &Shard{id: cfg.ID, wal: wal, store: store, ix: ix,
+			exec: core.NewExecutor(1), sb: sb, cat: cat, flushed: flushed}
+		if cfg.Ingest != nil {
+			// Reattach the write tier: the base index covers the catalog's
+			// flushed prefix; the suffix is the delta, replayed into the
+			// memtable (never merged — recovery must not write pages).
+			allOps, err := cat.ops()
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: read catalog: %w", cfg.ID, err)
+			}
+			baseMs, err := motionsOfOps(allOps[:flushed])
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", cfg.ID, err)
+			}
+			tier, err := ingest.Attach(ix, baseMs, cfg.Ingest.tierConfig(cfg.Terrain))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: attach ingest tier: %w", cfg.ID, err)
+			}
+			if err := tier.Replay(toIngestOps(allOps[flushed:])); err != nil {
+				return nil, fmt.Errorf("shard %d: replay ingest delta: %w", cfg.ID, err)
+			}
+			if tier.Len() != cat.live {
+				return nil, fmt.Errorf("shard %d: ingest tier holds %d live motions, catalog %d: %w",
+					cfg.ID, tier.Len(), cat.live, pager.ErrPageCorrupt)
+			}
+			s.tier = tier
+		} else {
+			if flushed != cat.records {
+				return nil, fmt.Errorf("shard %d: durable state carries an ingest delta (%d of %d records flushed); open with Config.Ingest set",
+					cfg.ID, flushed, cat.records)
+			}
+			if cat.live != ix.Len() {
+				return nil, fmt.Errorf("shard %d: catalog holds %d live motions, index %d: %w",
+					cfg.ID, cat.live, ix.Len(), pager.ErrPageCorrupt)
+			}
 		}
 		eng, err := subscribe.New(subscribe.Config{})
 		if err != nil {
@@ -177,8 +261,8 @@ func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) 
 		if err := eng.Reset(ms); err != nil {
 			return nil, fmt.Errorf("shard %d: seed subscriptions: %w", cfg.ID, err)
 		}
-		return &Shard{id: cfg.ID, wal: wal, store: store, ix: ix,
-			exec: core.NewExecutor(1), sb: sb, cat: cat, subs: eng}, nil
+		s.subs = eng
+		return s, nil
 
 	case errors.Is(err, errChainNotFound):
 		// Fresh media: initialize superblock and catalog in one batch.
@@ -192,6 +276,13 @@ func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) 
 		}
 		s := &Shard{id: cfg.ID, wal: wal, store: store, ix: ix,
 			exec: core.NewExecutor(1), subs: eng}
+		if cfg.Ingest != nil {
+			tier, terr := ingest.New(ix, cfg.Ingest.tierConfig(cfg.Terrain))
+			if terr != nil {
+				return nil, fmt.Errorf("shard %d: create ingest tier: %w", cfg.ID, terr)
+			}
+			s.tier = tier
+		}
 		err = pager.RunBatch(store, func() error {
 			sbc, cerr := initChain(store, sbMagic)
 			if cerr != nil {
@@ -219,7 +310,20 @@ func openOn(cfg Config, wal *pager.WALStore, store pager.Store) (*Shard, error) 
 // run inside the shard's open batch, after every index mutation of that
 // batch.
 func (s *Shard) saveMeta() error {
-	return s.sb.write(encodeSuperblock(superblock{catHead: s.cat.head, meta: s.ix.Meta()}))
+	if s.tier == nil {
+		s.flushed = s.cat.records // no tier: the base always covers the log
+	}
+	return s.sb.write(encodeSuperblock(superblock{
+		catHead: s.cat.head, flushed: s.flushed, meta: s.ix.Meta()}))
+}
+
+// toIngestOps converts catalog/shard ops to tier ops (identical shape).
+func toIngestOps(ops []Op) []ingest.Op {
+	out := make([]ingest.Op, len(ops))
+	for i, op := range ops {
+		out[i] = ingest.Op{Insert: op.Insert, M: op.M}
+	}
+	return out
 }
 
 // ID returns the shard's cluster index.
@@ -229,6 +333,9 @@ func (s *Shard) ID() int { return s.id }
 func (s *Shard) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.tier != nil {
+		return s.tier.Len()
+	}
 	return s.ix.Len()
 }
 
@@ -288,7 +395,15 @@ func (s *Shard) Query(ctx context.Context, q dual.MORQuery) ([]dual.OID, error) 
 		return nil, err
 	}
 	s.mu.RLock()
-	res, err := s.ix.QueryParallelCtx(ctx, s.exec, q)
+	var res []dual.OID
+	var err error
+	if s.tier != nil {
+		// Through the write tier: base subqueries plus the delta overlay,
+		// byte-identical to a flat index over the same motions.
+		res, err = s.tier.QueryParallelCtx(ctx, s.exec, q)
+	} else {
+		res, err = s.ix.QueryParallelCtx(ctx, s.exec, q)
+	}
 	s.mu.RUnlock()
 	s.observe(err)
 	return res, err
@@ -314,6 +429,9 @@ func (s *Shard) Apply(ctx context.Context, ops []Op) error {
 	defer s.mu.Unlock()
 	applied := 0
 	err := pager.RunBatch(s.store, func() error {
+		if s.tier != nil {
+			return s.applyTier(ctx, ops, &applied)
+		}
 		for _, op := range ops {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -360,6 +478,39 @@ func (s *Shard) Apply(ctx context.Context, ops []Op) error {
 	return err
 }
 
+// applyTier is Apply's batch body on the ingest path: ops stage into the
+// write tier (validated with the same discipline the flat path's
+// Insert/Delete enforce) and the catalog logs the delta without
+// compacting, preserving the base-covers-prefix invariant. When the tier
+// folds into the base (Add reports merged), the whole catalog is
+// rewritten from the tier's base contents inside this same batch and the
+// flushed watermark advances to cover it — so a crash at any boundary
+// recovers either the pre-batch state or the post-merge state, never a
+// torn run. Must run inside the shard's open batch, under the write
+// latch.
+func (s *Shard) applyTier(ctx context.Context, ops []Op, applied *int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// The tier stages the whole batch in memory; from here on any failure
+	// may have mutated tier state, so the caller's quarantine logic treats
+	// the batch as entered.
+	*applied = len(ops)
+	merged, err := s.tier.Add(toIngestOps(ops))
+	if err != nil {
+		return err
+	}
+	if merged {
+		if err := s.cat.rewrite(s.tier.BaseMotions()); err != nil {
+			return err
+		}
+		s.flushed = s.cat.records
+	} else if err := s.cat.appendRaw(ops); err != nil {
+		return err
+	}
+	return s.saveMeta()
+}
+
 // BulkLoad atomically replaces the shard's contents with ms (one WAL
 // batch, bottom-up builders — see core.DualBPlus.BulkLoad). Like Apply, a
 // failure quarantines the shard.
@@ -373,11 +524,20 @@ func (s *Shard) BulkLoad(ctx context.Context, ms []dual.Motion) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := pager.RunBatch(s.store, func() error {
-		if err := s.ix.BulkLoad(ms); err != nil {
+		if s.tier != nil {
+			// Load through the tier: base replaced, delta cleared, catalog
+			// fully covered by the new base.
+			if err := s.tier.Load(ms); err != nil {
+				return err
+			}
+		} else if err := s.ix.BulkLoad(ms); err != nil {
 			return err
 		}
 		if err := s.cat.rewrite(ms); err != nil {
 			return err
+		}
+		if s.tier != nil {
+			s.flushed = s.cat.records
 		}
 		return s.saveMeta()
 	})
@@ -393,6 +553,17 @@ func (s *Shard) BulkLoad(ctx context.Context, ms []dual.Motion) error {
 	}
 	s.observe(err)
 	return err
+}
+
+// IngestStats reports the write tier's shape and counters; ok is false
+// when the shard runs without a tier (Config.Ingest nil).
+func (s *Shard) IngestStats() (ingest.Stats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.tier == nil {
+		return ingest.Stats{}, false
+	}
+	return s.tier.Stats(), true
 }
 
 // Motions enumerates the shard's live motions from its durable catalog,
@@ -505,5 +676,9 @@ func (s *Shard) Close() error {
 	s.stateMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return errors.Join(s.subs.Close(), s.wal.Close())
+	var terr error
+	if s.tier != nil {
+		terr = s.tier.Close()
+	}
+	return errors.Join(terr, s.subs.Close(), s.wal.Close())
 }

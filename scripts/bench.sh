@@ -14,6 +14,13 @@
 #      logical/physical page I/Os, bytes allocated and final page counts;
 #      fails if the B+-tree bulk path is not >= 5x cheaper in physical
 #      I/Os than incremental.
+#   3. Ingest benchmark: mobbench -ingest (log-structured write tier vs
+#      direct per-update tree mutation under an update-dominated load at
+#      writer counts 1,2,4,8 over a simulated-fsync log) ->
+#      BENCH_ingest.json with sustained update pairs/sec, update latency
+#      percentiles, group-commit coalescing, and the tier-vs-flat query
+#      rate; fails unless the tier sustains >= 3x updates/sec at 4
+#      writers with query throughput within 20% of flat.
 #
 # Before/after comparison (benchstat-style, works on either report):
 #
@@ -28,6 +35,11 @@
 #   BENCH_OUT   throughput output path (BENCH_parallel.json)
 #   BUILD_N     records per structure for -build (100000)
 #   BUILD_OUT   build output path (BENCH_build.json)
+#   ING_N       object count for -ingest (20000)
+#   ING_UPDATES update pairs per leg for -ingest (4000)
+#   ING_WRITERS comma-separated writer counts (1,2,4,8)
+#   ING_SYNC    simulated log fsync latency (2ms)
+#   ING_OUT     ingest output path (BENCH_ingest.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -53,3 +65,10 @@ go run ./cmd/mobbench -throughput \
 go run ./cmd/mobbench -build \
 	-buildn "${BUILD_N:-100000}" \
 	-buildout "${BUILD_OUT:-BENCH_build.json}"
+
+go run ./cmd/mobbench -ingest \
+	-ingestn "${ING_N:-20000}" \
+	-ingestupdates "${ING_UPDATES:-4000}" \
+	-ingestwriters "${ING_WRITERS:-1,2,4,8}" \
+	-ingestsync "${ING_SYNC:-2ms}" \
+	-ingestout "${ING_OUT:-BENCH_ingest.json}"

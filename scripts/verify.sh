@@ -33,8 +33,8 @@ go test -shuffle=on ./...
 echo "== go test -race (storage + parallel query + sharded serving layers) =="
 go test -race ./internal/pager/... ./internal/core/... ./internal/twod/... \
 	./internal/kdtree/... ./internal/kinetic/... ./internal/harness/... \
-	./internal/leakcheck/... ./internal/shard/... ./internal/subscribe/... \
-	./internal/workload/...
+	./internal/ingest/... ./internal/leakcheck/... ./internal/shard/... \
+	./internal/subscribe/... ./internal/workload/...
 
 echo "== subscription storm (leak + race gated) =="
 # The continuous-query engine under a live update storm: concurrent
@@ -63,6 +63,17 @@ go test -race -count=1 -run 'TestClusterCrashSweep|TestClusterSplitFaultResume' 
 go test -race -count=1 -run 'TestCluster|TestShardCloseDuringHedgedReads|TestPartialError' \
 	./internal/shard
 
+echo "== ingest crash sweep (memtable-flush kill points x media modes, race-gated) =="
+# The log-structured write tier's recovery harness: kill an ingesting
+# shard at every log/base write-and-sync boundary across memtable
+# freezes and base folds under every media failure mode, asserting the
+# reboot lands on a batch boundary (complete or absent, never torn),
+# answers a brute-force oracle exactly, and keeps folding afterwards;
+# plus the group-commit torn-tail recovery tests in the pager.
+go test -race -count=1 -run 'TestIngestCrashSweep' ./internal/shard/chaostest
+go test -race -count=1 -run 'TestGroupCommit|TestTxn' ./internal/pager
+go test -race -count=1 -run 'TestCrashSweepGroupCommitTxn' ./internal/pager/crashtest
+
 echo "== stress matrix (GOMAXPROCS=1,4) =="
 # The concurrency tests must hold both when goroutines interleave on one
 # processor (maximal context-switch churn) and when they run truly in
@@ -70,10 +81,10 @@ echo "== stress matrix (GOMAXPROCS=1,4) =="
 for procs in 1 4; do
 	echo "-- GOMAXPROCS=$procs --"
 	GOMAXPROCS=$procs go test -count=1 \
-		-run 'Concurrent|Parallel|Stress|Snapshot|StatsDuringBuild|Executor|Throughput|Router|ShardBench' \
+		-run 'Concurrent|Parallel|Stress|Snapshot|StatsDuringBuild|Executor|Throughput|Router|ShardBench|CloseUnderLoad|IngestBench' \
 		./internal/pager ./internal/core ./internal/twod \
 		./internal/kdtree ./internal/kinetic ./internal/harness \
-		./internal/shard ./internal/shard/chaostest
+		./internal/ingest ./internal/shard ./internal/shard/chaostest
 done
 
 echo "== zero-allocation gates =="
@@ -93,5 +104,6 @@ go test ./internal/pager -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s
 go test ./internal/geom -run '^$' -fuzz '^FuzzClipConvex$' -fuzztime=10s
 go test ./internal/subscribe -run '^$' -fuzz '^FuzzMatcher$' -fuzztime=10s
 go test ./internal/subscribe -run '^$' -fuzz '^FuzzKineticBoundary$' -fuzztime=10s
+go test ./internal/ingest -run '^$' -fuzz '^FuzzBloom$' -fuzztime=10s
 
 echo "verify: all checks passed"
