@@ -6,7 +6,10 @@
 //
 //	mobidxlint ./...                 # whole repo, human-readable
 //	mobidxlint -json ./...           # machine-readable findings
+//	mobidxlint -sarif ./...          # SARIF 2.1.0 for CI annotations
 //	mobidxlint -passes errdrop ./... # one pass only
+//	mobidxlint -v ./...              # per-pass wall times on stderr
+//	mobidxlint -listcache f ./...    # cache `go list -export` in f
 //	mobidxlint -list                 # describe the suite
 //
 // Suppressions are per-line and must carry a reason:
@@ -19,15 +22,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mobidx/internal/analysis"
 )
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
-		passes  = flag.String("passes", "all", "comma-separated pass names to run")
-		list    = flag.Bool("list", false, "list the available passes and exit")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		sarifOut  = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+		passes    = flag.String("passes", "all", "comma-separated pass names to run")
+		list      = flag.Bool("list", false, "list the available passes and exit")
+		verbose   = flag.Bool("v", false, "print per-pass wall times to stderr")
+		listCache = flag.String("listcache", "", "cache file for `go list -export` output (keyed on go.sum + source mtimes)")
 	)
 	flag.Parse()
 
@@ -47,14 +54,54 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load("", patterns...)
+	loadStart := time.Now()
+	var pkgs []*analysis.Package
+	if *listCache != "" {
+		pkgs, err = analysis.LoadCached("", *listCache, patterns...)
+	} else {
+		pkgs, err = analysis.Load("", patterns...)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags := analysis.RunPasses(pkgs, selected)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mobidxlint: load       %8.1fms (%d packages)\n",
+			float64(time.Since(loadStart).Microseconds())/1000, len(pkgs))
+	}
 
-	if *jsonOut {
+	var diags []analysis.Diagnostic
+	if *verbose {
+		// Run pass by pass so each one's wall time is visible; re-sort at
+		// the end to keep the output order identical to a plain run.
+		for _, p := range selected {
+			start := time.Now()
+			diags = append(diags, analysis.RunPasses(pkgs, []*analysis.Pass{p})...)
+			fmt.Fprintf(os.Stderr, "mobidxlint: %-10s %8.1fms\n",
+				p.Name, float64(time.Since(start).Microseconds())/1000)
+		}
+		analysis.SortDiagnostics(diags)
+	} else {
+		diags = analysis.RunPasses(pkgs, selected)
+	}
+
+	switch {
+	case *sarifOut:
+		root, err := os.Getwd()
+		if err != nil {
+			root = "" // URIs stay absolute; the document is still valid
+		}
+		doc, err := analysis.SARIF(diags, selected, root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
+			os.Exit(2)
+		}
+		doc = append(doc, '\n')
+		if _, err := os.Stdout.Write(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -64,13 +111,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mobidxlint: %v\n", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d.String())
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "mobidxlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
 		}
 		os.Exit(1)

@@ -11,7 +11,17 @@
 //   - floateq — no ==/!=/switch on float operands in the geometry and
 //     dual-transform packages outside the approved epsilon helpers;
 //   - errdrop — stricter-than-vet unchecked-error detection;
-//   - nopanic — library packages never call panic directly.
+//   - nopanic — library packages never call panic directly;
+//   - lockorder — per-package lock-acquisition graph: no inconsistent
+//     acquisition order (deadlock cycles), no locks held across
+//     blocking calls (fsync, channel ops, sleeps, waits);
+//   - atomicmix — a struct field accessed via sync/atomic is never
+//     also read or written plainly;
+//   - ctxflow — exported blocking APIs in the serving layers accept
+//     and propagate context.Context (no fabricated root contexts, no
+//     dropped ctx params, no uncancellable sleeps);
+//   - gorolifecycle — every goroutine in internal/ has a provable join
+//     (WaitGroup) or stop (quit/ctx.Done select) path.
 //
 // The suite is built on the standard library only (go/parser, go/ast,
 // go/types, go/importer); package discovery and export data come from
@@ -148,8 +158,16 @@ func RunPasses(pkgs []*Package, passes []*Pass) []Diagnostic {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics deterministically by (file, line,
+// col, pass) — the order RunPasses emits and the goldens pin down. The
+// CLI re-sorts after per-pass timed runs with it.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -161,7 +179,6 @@ func RunPasses(pkgs []*Package, passes []*Pass) []Diagnostic {
 		}
 		return a.Pass < b.Pass
 	})
-	return out
 }
 
 // All returns the full pass suite in stable order.
@@ -173,6 +190,10 @@ func All() []*Pass {
 		FloatEq,
 		ErrDrop,
 		NoPanic,
+		LockOrder,
+		AtomicMix,
+		CtxFlow,
+		GoroLifecycle,
 	}
 }
 

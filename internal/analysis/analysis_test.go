@@ -82,6 +82,70 @@ func TestAllowDirective(t *testing.T) {
 	}
 }
 
+// TestAllowConcurrency checks the allow directive against the new
+// concurrency passes: both placement forms suppress, an unannotated
+// violation survives, and an annotation naming one pass does not
+// silence another.
+func TestAllowConcurrency(t *testing.T) {
+	dir := filepath.Join("testdata", "allowconc")
+
+	lock := runFixture(t, LockOrder, dir)
+	if len(lock) != 2 {
+		t.Fatalf("lockorder: want the unannotated and wrong-pass findings, got %d:\n%s",
+			len(lock), strings.Join(lock, "\n"))
+	}
+	if !strings.Contains(lock[0], "allowconc.go:31") || !strings.Contains(lock[1], "allowconc.go:38") {
+		t.Errorf("lockorder survivors anchored to the wrong lines:\n%s", strings.Join(lock, "\n"))
+	}
+
+	goro := runFixture(t, GoroLifecycle, dir)
+	if len(goro) != 1 {
+		t.Fatalf("gorolifecycle: want exactly the unannotated spawn, got %d:\n%s",
+			len(goro), strings.Join(goro, "\n"))
+	}
+	if !strings.Contains(goro[0], "allowconc.go:53") {
+		t.Errorf("gorolifecycle survivor anchored to the wrong line: %s", goro[0])
+	}
+}
+
+// TestSortDiagnostics pins the deterministic output order every pass
+// and the CLI rely on: file, then line, then column, then pass name.
+func TestSortDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Pass: "nopanic", File: "b.go", Line: 1, Col: 1},
+		{Pass: "errdrop", File: "a.go", Line: 9, Col: 2},
+		{Pass: "lockorder", File: "a.go", Line: 9, Col: 1},
+		{Pass: "ctxflow", File: "a.go", Line: 2, Col: 5},
+		{Pass: "atomicmix", File: "a.go", Line: 9, Col: 1},
+	}
+	SortDiagnostics(diags)
+	want := []string{"ctxflow", "atomicmix", "lockorder", "errdrop", "nopanic"}
+	for i, d := range diags {
+		if d.Pass != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, d.Pass, want[i], diags)
+		}
+	}
+}
+
+// TestPassFilter drives the CLI's -passes resolution end to end for a
+// new pass: selecting exactly lockorder runs lockorder and nothing
+// else, even on a fixture that would trip other passes too.
+func TestPassFilter(t *testing.T) {
+	selected, err := ByName("lockorder")
+	if err != nil || len(selected) != 1 || selected[0] != LockOrder {
+		t.Fatalf("ByName(lockorder) = %v, err %v", selected, err)
+	}
+	got := runFixture(t, selected[0], filepath.Join("testdata", "lockorder", "bad"))
+	if len(got) == 0 {
+		t.Fatal("filtered run produced no findings on the bad fixture")
+	}
+	for _, line := range got {
+		if !strings.Contains(line, " lockorder: ") {
+			t.Errorf("filtered run leaked a foreign diagnostic: %s", line)
+		}
+	}
+}
+
 // TestRepoClean is the self-check the verify gate relies on: the full
 // suite, with AppliesTo filters and annotations in force, finds nothing
 // in the repository's own production code.

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix reports struct fields that are accessed through sync/atomic
+// functions (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.f), ...) in
+// one place and by a plain read or write somewhere else. A field is
+// either always atomic or always guarded — mixing the two is the
+// classic stats-counter race: the plain access tears or is reordered
+// against the atomic one, the race detector only catches it when both
+// sides actually collide in a run, and the typed atomic.* wrappers that
+// make the mistake impossible are one refactor away.
+//
+// Plain accesses inside constructor functions (New*/new*/make*/Make*)
+// are exempt: before the value is published there is no concurrency to
+// order. Typed atomic.Int64-style fields are out of scope — their only
+// access path is their methods, and `go vet`'s copylocks already flags
+// value copies.
+var AtomicMix = &Pass{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic must never also be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+// fieldID identifies one struct field across the package.
+type fieldID struct {
+	owner string // named type
+	field string
+}
+
+type fieldAccess struct {
+	pos token.Pos
+	fn  string // enclosing function key (for the constructor exemption)
+}
+
+func runAtomicMix(pkg *Package) []Diagnostic {
+	atomicUse := map[fieldID]token.Pos{} // first atomic access
+	var plainUses []struct {
+		id fieldID
+		fieldAccess
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fnKey := funcKey(fn)
+			// Mark the selector expressions consumed by atomic calls so
+			// the plain-access walk below can skip them.
+			inAtomic := map[ast.Expr]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if u, ok := unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if sel, ok := unparen(u.X).(*ast.SelectorExpr); ok {
+							if id, ok := fieldOf(pkg.Info, sel); ok {
+								if _, seen := atomicUse[id]; !seen {
+									atomicUse[id] = sel.Pos()
+								}
+								inAtomic[sel] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || inAtomic[sel] {
+					return true
+				}
+				if id, ok := fieldOf(pkg.Info, sel); ok {
+					plainUses = append(plainUses, struct {
+						id fieldID
+						fieldAccess
+					}{id, fieldAccess{pos: sel.Pos(), fn: fnKey}})
+				}
+				return true
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	sort.Slice(plainUses, func(i, j int) bool { return plainUses[i].pos < plainUses[j].pos })
+	for _, use := range plainUses {
+		atomicPos, mixed := atomicUse[use.id]
+		if !mixed {
+			continue
+		}
+		if isConstructorName(use.fn) {
+			continue
+		}
+		diags = append(diags, pkg.diag("atomicmix", use.pos,
+			"field %s.%s is accessed with sync/atomic at line %d but plainly here; every access to an atomic field must go through sync/atomic (or migrate the field to an atomic.* type)",
+			use.id.owner, use.id.field, pkg.line(atomicPos)))
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// isAtomicFuncCall reports whether the call is a sync/atomic package
+// function (not a method on a typed atomic value).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to (owner named type, field name); ok is
+// false for method selections, package selectors and anonymous structs.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (fieldID, bool) {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return fieldID{}, false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fieldID{}, false
+	}
+	return fieldID{owner: named.Obj().Name(), field: selection.Obj().Name()}, true
+}
+
+// isConstructorName reports pre-publication functions where plain
+// initialization of an otherwise-atomic field is safe by construction.
+func isConstructorName(fn string) bool {
+	name := fn
+	if i := strings.LastIndex(fn, "."); i >= 0 {
+		name = fn[i+1:]
+	}
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		strings.HasPrefix(name, "Make") || strings.HasPrefix(name, "make") ||
+		strings.HasPrefix(name, "Open") || strings.HasPrefix(name, "open")
+}

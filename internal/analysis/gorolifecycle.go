@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLifecycle demands a provable join or stop path for every
+// goroutine launched in internal/ packages — the static half of the
+// discipline internal/leakcheck enforces dynamically at test time. A
+// `go` statement passes when the goroutine body shows one of:
+//
+//   - WaitGroup pairing: the body calls Done() on a sync.WaitGroup
+//     (directly or deferred), so some Wait() joins it;
+//   - a cancellation path: the body receives from ctx.Done() or from a
+//     quit/stop/done/close-named channel — in a select, a direct
+//     receive, or a range;
+//   - for `go name(...)` / `go recv.method(...)`, the same evidence in
+//     the named callee's body when it is declared in this package.
+//
+// Anything else — fire-and-forget literals, goroutines whose stop
+// protocol lives behind an interface, bounded helpers that are *meant*
+// to outlive their spawner — is reported and must either grow a join
+// path or carry an allow annotation explaining why its lifetime is
+// provably bounded some other way.
+var GoroLifecycle = &Pass{
+	Name: "gorolifecycle",
+	Doc:  "every goroutine in internal/ needs a provable join (WaitGroup) or stop (quit/ctx select) path",
+	AppliesTo: func(path string) bool {
+		return strings.Contains(path, "internal/")
+	},
+	Run: runGoroLifecycle,
+}
+
+func runGoroLifecycle(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, where := goroutineBody(pkg, gs.Call)
+			if body == nil {
+				diags = append(diags, pkg.diag("gorolifecycle", gs.Pos(),
+					"goroutine body (%s) is not visible in this package, so no join or stop path can be proven; annotate with the lifecycle argument",
+					where))
+				return true
+			}
+			if hasWaitGroupDone(pkg.Info, body) || hasStopSignal(pkg.Info, body) {
+				return true
+			}
+			diags = append(diags, pkg.diag("gorolifecycle", gs.Pos(),
+				"goroutine%s has no provable join or stop path: pair it with a WaitGroup Done or select on a quit/ctx.Done channel in its body",
+				where))
+			return true
+		})
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// goroutineBody resolves the body the spawned goroutine runs: the
+// literal's body for `go func(){...}()`, the declared body for
+// `go name(...)` / `go recv.method(...)` when the callee is declared in
+// this package; nil otherwise.
+func goroutineBody(pkg *Package, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, ""
+	case *ast.Ident:
+		if body := declaredBody(pkg, fun); body != nil {
+			return body, " " + fun.Name
+		}
+		return nil, fun.Name
+	case *ast.SelectorExpr:
+		if body := declaredBody(pkg, fun.Sel); body != nil {
+			return body, " " + calleeName(call.Fun)
+		}
+		return nil, calleeName(call.Fun)
+	}
+	return nil, "dynamic call"
+}
+
+// declaredBody finds the FuncDecl body for an identifier resolving to a
+// function declared in this package.
+func declaredBody(pkg *Package, id *ast.Ident) *ast.BlockStmt {
+	obj, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() != pkg.Pkg {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pkg.Info.Defs[fn.Name] == obj {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasWaitGroupDone reports a Done() call on a sync.WaitGroup anywhere
+// in the body (defers and nested literals included — the deferred
+// `defer wg.Done()` is the idiomatic form).
+func hasWaitGroupDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+			return true
+		}
+		if tn := namedReceiver(info, sel); tn != nil && tn.Pkg() != nil &&
+			tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasStopSignal reports a receive (select comm, direct, or range) from
+// ctx.Done() or from a channel whose name signals shutdown.
+func hasStopSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	check := func(e ast.Expr) {
+		if e != nil && isStopChannel(info, e) {
+			found = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				check(n.X)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					check(n.X)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stopNames are the channel-name fragments accepted as a stop signal.
+var stopNames = []string{"quit", "stop", "done", "close", "closing", "exit", "cancel", "shutdown"}
+
+// isStopChannel reports whether the received-from expression is
+// ctx.Done() (a Done() call on a context.Context) or a channel whose
+// identifier or field name contains a stop fragment.
+func isStopChannel(info *types.Info, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		sel, ok := unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return false
+		}
+		if tn := namedReceiver(info, sel); tn != nil && tn.Pkg() != nil &&
+			tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		return nameSignalsStop(e.Name)
+	case *ast.SelectorExpr:
+		return nameSignalsStop(e.Sel.Name)
+	}
+	return false
+}
+
+func nameSignalsStop(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range stopNames {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeModule lays down a one-package module the go tool can list
+// without network access (no imports outside the standard library).
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.21\n",
+		"a.go":   "package a\n\nfunc A() int { return 1 }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestListCacheKey pins the invalidation triggers: stable on an
+// untouched tree, changed by content-size or mtime changes and by new
+// files, and insensitive to non-Go files.
+func TestListCacheKey(t *testing.T) {
+	dir := writeModule(t)
+	k1, err := listCacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := listCacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("key not stable on an untouched tree")
+	}
+	if k3, _ := listCacheKey(dir, []string{"./a"}); k3 == k1 {
+		t.Error("key ignores the patterns")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if k4, _ := listCacheKey(dir, []string{"./..."}); k4 != k1 {
+		t.Error("key changed for a non-Go file")
+	}
+	// Content change of the same byte length, mtime forced forward: the
+	// key watches (size, mtime), so this must still invalidate.
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package a\n\nfunc A() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(filepath.Join(dir, "a.go"), future, future); err != nil {
+		t.Fatal(err)
+	}
+	if k5, _ := listCacheKey(dir, []string{"./..."}); k5 == k1 {
+		t.Error("key unchanged after touching a Go file")
+	}
+}
+
+// TestLoadCached exercises the full path: a cold call populates the
+// cache file, a warm call serves from it (proven by corrupting the raw
+// go tool path out from under it being unnecessary — the cache file's
+// mtime stays put), and an edit invalidates.
+func TestLoadCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	dir := writeModule(t)
+	cache := filepath.Join(dir, ".verifycache", "golist.json")
+
+	pkgs, err := LoadCached(dir, cache, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "a" {
+		t.Fatalf("cold load = %v", pkgs)
+	}
+	info1, err := os.Stat(cache)
+	if err != nil {
+		t.Fatalf("cold load did not write the cache: %v", err)
+	}
+
+	pkgs, err = LoadCached(dir, cache, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("warm load = %v", pkgs)
+	}
+	info2, err := os.Stat(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info1.ModTime().Equal(info2.ModTime()) || info1.Size() != info2.Size() {
+		t.Error("warm load rewrote the cache file; expected a pure hit")
+	}
+
+	// Invalidate: add a function, force the mtime forward.
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte("package a\n\nfunc A() int { return 1 }\n\nfunc B() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(src, future, future); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err = LoadCached(dir, cache, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for id := range pkgs[0].Info.Defs {
+		if id.Name == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stale cache served after the source changed")
+	}
+}
+
+// TestListCacheRoundtrip covers the read/write primitives directly,
+// including the key-mismatch miss.
+func TestListCacheRoundtrip(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "sub", "golist.json")
+	if _, ok := readListCache(cache, "k"); ok {
+		t.Error("missing file must miss")
+	}
+	writeListCache(cache, "k", []byte(`{"ImportPath":"x"}`))
+	raw, ok := readListCache(cache, "k")
+	if !ok || string(raw) != `{"ImportPath":"x"}` {
+		t.Errorf("roundtrip = %q, %v", raw, ok)
+	}
+	if _, ok := readListCache(cache, "other"); ok {
+		t.Error("key mismatch must miss")
+	}
+}

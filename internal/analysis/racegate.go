@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file cross-checks scripts/verify.sh's race-detector gate against
+// the code: every package under internal/ that launches a goroutine —
+// in production code or in its tests — must be matched by one of the
+// patterns in the script's RACE_PKGS variable. The check is syntactic
+// (a parse for GoStmt, no type information), so it runs in milliseconds
+// and cannot be fooled by build tags it does not understand: any `go`
+// statement in any .go file counts.
+
+// RaceGatePatterns extracts the RACE_PKGS package patterns from a
+// verify.sh-style script. The variable must be assigned once as
+// RACE_PKGS="..." (double quotes, optional backslash-newline
+// continuations inside the quotes, whitespace-separated patterns).
+func RaceGatePatterns(scriptPath string) ([]string, error) {
+	data, err := os.ReadFile(scriptPath)
+	if err != nil {
+		return nil, err
+	}
+	const marker = `RACE_PKGS="`
+	i := strings.Index(string(data), marker)
+	if i < 0 {
+		return nil, fmt.Errorf("%s: no RACE_PKGS=\"...\" assignment found", scriptPath)
+	}
+	rest := string(data)[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return nil, fmt.Errorf("%s: RACE_PKGS assignment has no closing quote", scriptPath)
+	}
+	raw := strings.ReplaceAll(rest[:j], "\\\n", " ")
+	patterns := strings.Fields(raw)
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("%s: RACE_PKGS is empty", scriptPath)
+	}
+	return patterns, nil
+}
+
+// GoroutinePackages walks the module tree under root and returns the
+// relative directories (using forward slashes, e.g. "internal/shard")
+// whose .go files — tests included — contain at least one go statement.
+// Directories the go tool ignores (testdata, hidden, _-prefixed) are
+// skipped.
+func GoroutinePackages(root string) ([]string, error) {
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		dir := filepath.ToSlash(rel)
+		if seen[dir] {
+			return nil
+		}
+		// ParseFile with nothing skipped; a file that fails to parse is
+		// reported rather than silently treated as goroutine-free.
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		if fileHasGoStmt(file) {
+			seen[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func fileHasGoStmt(file *ast.File) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// raceGateCovers reports whether the pattern list covers the package
+// directory. Patterns follow go-tool syntax relative to the module
+// root: "./internal/shard/..." covers internal/shard and everything
+// below it, "./internal/shard" covers exactly that directory.
+func raceGateCovers(patterns []string, dir string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, "./")
+		if base, ok := strings.CutSuffix(p, "/..."); ok {
+			if dir == base || strings.HasPrefix(dir, base+"/") {
+				return true
+			}
+			continue
+		}
+		if dir == p {
+			return true
+		}
+	}
+	return false
+}
+
+// RaceGateUncovered returns, sorted, every goroutine-launching package
+// under root/internal that no RACE_PKGS pattern in scriptPath covers.
+// An empty result means the race gate runs everything that can race.
+func RaceGateUncovered(root, scriptPath string) ([]string, error) {
+	patterns, err := RaceGatePatterns(scriptPath)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := GoroutinePackages(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, dir := range pkgs {
+		full := "internal/" + dir
+		if dir == "." {
+			full = "internal"
+		}
+		if !raceGateCovers(patterns, full) {
+			missing = append(missing, full)
+		}
+	}
+	return missing, nil
+}

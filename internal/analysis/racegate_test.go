@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRaceGateCoverage is the CI cross-check: every internal package
+// that launches a goroutine anywhere (production or test code) must be
+// inside scripts/verify.sh's RACE_PKGS list, so adding a `go` statement
+// to an ungated package fails this test until the gate is widened.
+func TestRaceGateCoverage(t *testing.T) {
+	missing, err := RaceGateUncovered("../..", filepath.Join("..", "..", "scripts", "verify.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("packages launch goroutines but are not in verify.sh's RACE_PKGS race gate:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}
+
+// TestRaceGatePatterns pins the parser to the shell forms verify.sh
+// actually uses: double quotes and backslash-newline continuations.
+func TestRaceGatePatterns(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "verify.sh")
+	content := "#!/bin/sh\nRACE_PKGS=\"./internal/a/... \\\n\t./internal/b ./internal/c/...\"\ngo test -race $RACE_PKGS\n"
+	if err := os.WriteFile(script, []byte(content), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RaceGatePatterns(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"./internal/a/...", "./internal/b", "./internal/c/..."}
+	if len(got) != len(want) {
+		t.Fatalf("patterns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("patterns = %v, want %v", got, want)
+		}
+	}
+
+	if _, err := RaceGatePatterns(filepath.Join(dir, "nosuch.sh")); err == nil {
+		t.Error("missing script should error")
+	}
+	bare := filepath.Join(dir, "bare.sh")
+	if err := os.WriteFile(bare, []byte("#!/bin/sh\ntrue\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RaceGatePatterns(bare); err == nil {
+		t.Error("script without RACE_PKGS should error")
+	}
+}
+
+// TestRaceGateCovers pins the pattern semantics: /... is recursive,
+// a bare pattern is exact.
+func TestRaceGateCovers(t *testing.T) {
+	patterns := []string{"./internal/shard/...", "./internal/core"}
+	cases := []struct {
+		dir  string
+		want bool
+	}{
+		{"internal/shard", true},
+		{"internal/shard/chaostest", true},
+		{"internal/shardx", false},
+		{"internal/core", true},
+		{"internal/core/sub", false},
+		{"internal/pager", false},
+	}
+	for _, c := range cases {
+		if got := raceGateCovers(patterns, c.dir); got != c.want {
+			t.Errorf("covers(%q) = %v, want %v", c.dir, got, c.want)
+		}
+	}
+}

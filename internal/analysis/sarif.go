@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the interchange format CI systems render as
+// inline code annotations. Only the required subset of the schema is
+// emitted: one run, one tool driver carrying a rule per pass, one
+// result per diagnostic with a physical location. File paths are
+// emitted relative to root (when they are under it) with forward
+// slashes, per §3.4.2 of the spec.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. passes supplies the
+// rule metadata (every pass becomes a rule whether or not it fired, so
+// the rule catalogue is stable across runs); root, when non-empty, is
+// the directory file paths are made relative to.
+func SARIF(diags []Diagnostic, passes []*Pass, root string) ([]byte, error) {
+	rules := make([]sarifRule, len(passes))
+	ruleIndex := map[string]int{}
+	for i, p := range passes {
+		rules[i] = sarifRule{ID: p.Name, ShortDescription: sarifMessage{Text: p.Doc}}
+		ruleIndex[p.Name] = i
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Pass]
+		if !ok {
+			idx = len(rules)
+			ruleIndex[d.Pass] = idx
+			rules = append(rules, sarifRule{ID: d.Pass, ShortDescription: sarifMessage{Text: d.Pass}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Pass,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.File, root)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "mobidxlint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// sarifURI renders the diagnostic path as a relative forward-slash URI.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}

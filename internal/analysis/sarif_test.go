@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSARIFShape decodes the emitted document back through generic maps
+// and asserts the SARIF 2.1.0 required subset: version/$schema, one run
+// with a named tool driver carrying a rule per pass, and one result per
+// diagnostic whose ruleIndex points at the matching rule and whose
+// physical location carries a root-relative forward-slash URI.
+func TestSARIFShape(t *testing.T) {
+	diags := []Diagnostic{
+		{Pass: "errdrop", File: "/repo/internal/pager/wal.go", Line: 12, Col: 3, Message: "dropped"},
+		{Pass: "lockorder", File: "/repo/internal/shard/router.go", Line: 7, Col: 1, Message: "held"},
+		{Pass: "ghostpass", File: "elsewhere/x.go", Line: 1, Col: 1, Message: "unknown rule"},
+	}
+	raw, err := SARIF(diags, All(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if v := doc["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	if s, _ := doc["$schema"].(string); s != "https://json.schemastore.org/sarif-2.1.0.json" {
+		t.Errorf("$schema = %q", s)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name != "mobidxlint" {
+		t.Errorf("driver.name = %q", name)
+	}
+	rules := driver["rules"].([]any)
+	// Every pass is a rule (stable catalogue) plus the unknown ghostpass.
+	if len(rules) != len(All())+1 {
+		t.Errorf("rules = %d, want %d", len(rules), len(All())+1)
+	}
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		rule := r.(map[string]any)
+		ruleIDs[i] = rule["id"].(string)
+		if txt, _ := rule["shortDescription"].(map[string]any)["text"].(string); txt == "" {
+			t.Errorf("rule %s has an empty shortDescription", ruleIDs[i])
+		}
+	}
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(diags) {
+		t.Fatalf("results = %v, want %d entries", run["results"], len(diags))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		if lvl, _ := res["level"].(string); lvl != "error" {
+			t.Errorf("result %d level = %q", i, lvl)
+		}
+		idx := int(res["ruleIndex"].(float64))
+		if idx < 0 || idx >= len(ruleIDs) || ruleIDs[idx] != res["ruleId"].(string) {
+			t.Errorf("result %d ruleIndex %d does not point at ruleId %v", i, idx, res["ruleId"])
+		}
+		if msg, _ := res["message"].(map[string]any)["text"].(string); msg != diags[i].Message {
+			t.Errorf("result %d message = %q, want %q", i, msg, diags[i].Message)
+		}
+		loc := res["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+		region := loc["region"].(map[string]any)
+		if int(region["startLine"].(float64)) != diags[i].Line || int(region["startColumn"].(float64)) != diags[i].Col {
+			t.Errorf("result %d region = %v, want %d:%d", i, region, diags[i].Line, diags[i].Col)
+		}
+	}
+	uri0 := results[0].(map[string]any)["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri0 != "internal/pager/wal.go" {
+		t.Errorf("uri = %q, want root-relative forward-slash path", uri0)
+	}
+	uri2 := results[2].(map[string]any)["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri2 != "elsewhere/x.go" {
+		t.Errorf("outside-root uri = %q, want path left as-is", uri2)
+	}
+}
+
+// TestSARIFEmpty: a clean run still emits the full rule catalogue and an
+// empty (non-null) results array.
+func TestSARIFEmpty(t *testing.T) {
+	raw, err := SARIF(nil, All(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []any `json:"results"`
+			Tool    struct {
+				Driver struct {
+					Rules []any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Results == nil || len(doc.Runs[0].Results) != 0 {
+		t.Errorf("clean run must carry an empty results array, got %+v", doc.Runs)
+	}
+	if len(doc.Runs[0].Tool.Driver.Rules) != len(All()) {
+		t.Errorf("rules = %d, want %d", len(doc.Runs[0].Tool.Driver.Rules), len(All()))
+	}
+}

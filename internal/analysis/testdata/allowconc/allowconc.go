@@ -1,0 +1,57 @@
+// Package allowconc exercises //mobidxlint:allow on the concurrency
+// passes: both placement forms suppress, an unannotated violation
+// survives, and an annotation for one pass does not silence another.
+package allowconc
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// suppressed by the line-above form:
+func (t *T) SendAllowedAbove() {
+	t.mu.Lock()
+	//mobidxlint:allow lockorder -- fixture: the channel is buffered by construction
+	t.ch <- 1
+	t.mu.Unlock()
+}
+
+// suppressed by the same-line form:
+func (t *T) SendAllowedInline() {
+	t.mu.Lock()
+	t.ch <- 2 //mobidxlint:allow lockorder -- fixture: same-line form
+	t.mu.Unlock()
+}
+
+// not annotated: the finding must survive.
+func (t *T) SendReported() {
+	t.mu.Lock()
+	t.ch <- 3
+	t.mu.Unlock()
+}
+
+// annotated for the wrong pass: lockorder must still report it.
+func (t *T) SendWrongPass() {
+	t.mu.Lock()
+	t.ch <- 4 //mobidxlint:allow gorolifecycle -- fixture: wrong pass name
+	t.mu.Unlock()
+}
+
+// gorolifecycle: the allow silences the spawn it names...
+func (t *T) SpawnAllowed() {
+	//mobidxlint:allow gorolifecycle -- fixture: drains a bounded channel
+	go func() {
+		for range t.ch {
+		}
+	}()
+}
+
+// ...and the unannotated spawn is still reported.
+func (t *T) SpawnReported() {
+	go func() {
+		for range t.ch {
+		}
+	}()
+}

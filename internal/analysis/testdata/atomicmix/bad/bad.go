@@ -1,0 +1,30 @@
+// Package bad mixes sync/atomic and plain access to the same fields —
+// the stats-counter race the atomicmix pass exists to catch.
+package bad
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   int64
+	misses int64
+}
+
+// Inc is the atomic side of hits.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Hits reads hits plainly: torn against Inc.
+func (s *Stats) Hits() int64 {
+	return s.hits
+}
+
+// Bump writes misses plainly...
+func (s *Stats) Bump() {
+	s.misses++
+}
+
+// Misses ...while the read side is atomic.
+func (s *Stats) Misses() int64 {
+	return atomic.LoadInt64(&s.misses)
+}

@@ -1,0 +1,53 @@
+// Package good holds the access disciplines atomicmix must accept:
+// all-atomic fields, constructor-time plain initialization, plain
+// fields that are never touched atomically, and typed atomics.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Stats struct {
+	hits  int64
+	typed atomic.Int64
+}
+
+// NewStats initializes plainly before publication — exempt.
+func NewStats() *Stats {
+	s := &Stats{}
+	s.hits = 0
+	return s
+}
+
+// Inc and Hits both go through sync/atomic.
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) Hits() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Typed atomics only expose atomic methods; nothing to mix.
+func (s *Stats) IncTyped() {
+	s.typed.Add(1)
+}
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Plain-only access under a lock is a different, valid discipline.
+func (g *Guarded) Inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *Guarded) Get() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

@@ -1,0 +1,38 @@
+// Package bad violates each ctxflow rule: fabricated root contexts
+// below the facade, an exported API that drops its ctx, and an
+// uncancellable sleep in a ctx-aware retry loop.
+package bad
+
+import (
+	"context"
+	"time"
+)
+
+type Store struct{}
+
+func (s *Store) do(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Fetch fabricates a root context instead of threading its own.
+func Fetch(ctx context.Context, s *Store) error {
+	return s.do(context.Background())
+}
+
+// Probe drops its ctx entirely and fabricates a TODO underneath.
+func Probe(ctx context.Context, s *Store) error {
+	return s.do(context.TODO())
+}
+
+// Retry sleeps where it should select on ctx.Done().
+func Retry(ctx context.Context, s *Store) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = s.do(ctx); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}

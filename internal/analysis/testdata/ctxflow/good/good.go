@@ -1,0 +1,51 @@
+// Package good threads context the way ctxflow demands: the ctx
+// parameter reaches every blocking call, retry waits are timer selects
+// on ctx.Done(), and no root context is fabricated below the facade.
+package good
+
+import (
+	"context"
+	"time"
+)
+
+type Store struct{}
+
+func (s *Store) do(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Fetch threads its ctx down.
+func Fetch(ctx context.Context, s *Store) error {
+	return s.do(ctx)
+}
+
+// FetchBounded derives a child deadline from the caller's ctx.
+func FetchBounded(ctx context.Context, s *Store) error {
+	actx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	return s.do(actx)
+}
+
+// Retry backs off with a cancellable timer select.
+func Retry(ctx context.Context, s *Store) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = s.do(ctx); err == nil {
+			return nil
+		}
+		timer := time.NewTimer(time.Millisecond)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+		timer.Stop()
+	}
+	return err
+}

@@ -1,0 +1,36 @@
+// Package bad launches goroutines with no provable join or stop path:
+// a fire-and-forget literal with an unbounded loop, a named method
+// whose body shows no lifecycle, and a callee invisible to the package.
+package bad
+
+import "io"
+
+type Worker struct {
+	ch chan int
+}
+
+// Spawn leaks: the literal loops forever with no stop signal.
+func (w *Worker) Spawn() {
+	go func() {
+		for v := range w.ch {
+			_ = v
+		}
+	}()
+}
+
+// SpawnNamed leaks: run's body has neither Done pairing nor a stop
+// select.
+func (w *Worker) SpawnNamed() {
+	go w.run()
+}
+
+func (w *Worker) run() {
+	for v := range w.ch {
+		_ = v
+	}
+}
+
+// SpawnOpaque spawns a body this package cannot see.
+func SpawnOpaque(c io.Closer) {
+	go c.Close() //nolint — the lint under test fires here
+}

@@ -1,0 +1,74 @@
+// Package good launches goroutines with the lifecycle evidence the
+// pass demands: WaitGroup pairing, ctx.Done selects, quit channels,
+// and a named worker whose declared body carries its own stop path.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+type Pool struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	work chan int
+}
+
+// Joined pairs every goroutine with the pool's WaitGroup.
+func (p *Pool) Joined(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for v := range p.work {
+				_ = v
+			}
+		}()
+	}
+	close(p.work)
+	p.wg.Wait()
+}
+
+// Cancellable stops on ctx.Done.
+func (p *Pool) Cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case v := <-p.work:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// QuitChannel stops when the quit channel closes.
+func (p *Pool) QuitChannel() {
+	go func() {
+		for {
+			select {
+			case v := <-p.work:
+				_ = v
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+}
+
+// Named spawns a declared worker whose body selects on quit.
+func (p *Pool) Named() {
+	go p.loop()
+}
+
+func (p *Pool) loop() {
+	for {
+		select {
+		case v := <-p.work:
+			_ = v
+		case <-p.quit:
+			return
+		}
+	}
+}

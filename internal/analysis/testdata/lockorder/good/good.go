@@ -1,0 +1,94 @@
+// Package good holds locking patterns the lockorder pass must accept:
+// a consistent acquisition hierarchy, blocking work done with the latch
+// released, non-blocking sends under a latch, and the sync.Cond
+// protocol.
+package good
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Outer struct {
+	mu    sync.Mutex
+	inner *Inner
+}
+
+type Inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Consistent hierarchy: Outer.mu is always taken before Inner.mu,
+// nowhere the reverse.
+func (o *Outer) Touch() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.bump()
+}
+
+func (i *Inner) bump() {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// SyncOutside stages under the latch, then syncs with it released.
+func (s *Store) SyncOutside() error {
+	s.mu.Lock()
+	f := s.f
+	s.mu.Unlock()
+	return f.Sync()
+}
+
+// UnlockRelock releases the latch around the blocking wait, the
+// leader/follower shape group commit uses.
+func (s *Store) UnlockRelock(ch chan struct{}) {
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// NonBlockingSend offers under the latch through a select with a
+// default clause — it cannot park.
+func (s *Store) NonBlockingSend(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+type Waiter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+}
+
+// Wait holds exactly the cond's own lock across Cond.Wait — the
+// documented protocol, not a hazard.
+func (w *Waiter) Wait() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for !w.done {
+		w.cond.Wait()
+	}
+}
+
+// SleepUnlocked sleeps with no latch held.
+func (s *Store) SleepUnlocked() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -138,6 +138,7 @@ func (d *DualBPlus) Subqueries(q dual.MORQuery) []func(emit func(dual.OID)) erro
 // sorted ascending and deduplicated, and the slice is identical for every
 // worker count — a single-worker executor is the sequential reference.
 func (d *DualBPlus) QueryParallel(exec *Executor, q dual.MORQuery) ([]dual.OID, error) {
+	//mobidxlint:allow ctxflow -- compat facade: ctx-less entry point for callers with no deadline; cancellation users call QueryParallelCtx
 	return d.QueryParallelCtx(context.Background(), exec, q)
 }
 

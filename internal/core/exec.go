@@ -44,6 +44,7 @@ func (e *Executor) Workers() int { return e.workers }
 // tasks still run to completion, so no goroutine outlives Run). With one
 // worker the tasks run inline, in order, with no goroutines at all.
 func (e *Executor) Run(tasks []func() error) error {
+	//mobidxlint:allow ctxflow -- compat facade: ctx-less entry point for callers with no deadline; cancellation users call RunCtx
 	return e.RunCtx(context.Background(), tasks)
 }
 
@@ -142,6 +143,7 @@ func MergeOIDs(buckets [][]dual.OID) []dual.OID {
 // every parallel query path (1-dimensional here, 2-dimensional in package
 // twod).
 func RunSubqueries(exec *Executor, subs []func(emit func(dual.OID)) error) ([]dual.OID, error) {
+	//mobidxlint:allow ctxflow -- compat facade: ctx-less entry point for callers with no deadline; cancellation users call RunSubqueriesCtx
 	return RunSubqueriesCtx(context.Background(), exec, subs)
 }
 

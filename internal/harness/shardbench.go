@@ -302,6 +302,7 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchResult, error) {
 	}
 	// Wait for the serving workers, then stop the storm.
 	done := make(chan struct{})
+	//mobidxlint:allow gorolifecycle -- joined at the <-done receive below; the poll loop exits once workers drain cfg.Queries or record an error
 	go func() {
 		for next.Load() < int64(cfg.Queries) && runErr == nil {
 			time.Sleep(time.Millisecond)

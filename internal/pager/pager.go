@@ -515,6 +515,7 @@ func (fs *FileStore) Sync() error {
 	if fs.closed {
 		return ErrStoreClosed
 	}
+	//mobidxlint:allow lockorder -- by design: the store latch serializes meta/free-list writes with their fsync; concurrent writers must observe the completed recovery point
 	return fs.syncLocked()
 }
 
@@ -619,6 +620,7 @@ func (fs *FileStore) Close() error {
 		return nil
 	}
 	fs.closed = true
+	//mobidxlint:allow lockorder -- by design: Close holds the latch across the final sync so no writer can slip in between the meta flush and the file close
 	syncErr := fs.syncLocked()
 	closeErr := fs.f.Close()
 	if syncErr != nil {

@@ -192,6 +192,7 @@ func (t *Txn) Commit() error {
 		w.mu.Unlock()
 		return errors.Join(err, rerr)
 	}
+	//mobidxlint:allow lockorder -- by design: the commit record must be appended (and, without group commit, synced) under the latch to keep the log in LSN order; group commit moves the sync wait below the Unlock
 	lsn, wait, err := w.commitBatchLocked(b)
 	w.mu.Unlock()
 	if err != nil || !wait {

@@ -867,6 +867,7 @@ func (w *WALStore) rollbackBatchLocked(b *walBatch) error {
 // even though the commit itself succeeded.
 func (w *WALStore) Commit() error {
 	w.mu.Lock()
+	//mobidxlint:allow lockorder -- by design: the commit record must be appended (and, without group commit, synced) under the latch to keep the log in LSN order; group commit moves the sync wait below the Unlock
 	lsn, wait, err := w.commitLocked()
 	w.mu.Unlock()
 	if err != nil || !wait {
@@ -1050,6 +1051,7 @@ func (w *WALStore) maybeAutoCheckpoint() error {
 	if w.done || w.fail != nil || w.batch != nil || w.logSize < w.cfg.AutoCheckpointBytes {
 		return nil
 	}
+	//mobidxlint:allow lockorder -- by design: a checkpoint must hold the latch across base-sync + truncate so no commit interleaves between the two
 	if err := w.checkpointLocked(); err != nil {
 		return fmt.Errorf("pager: commit durable; auto-checkpoint: %w", err)
 	}
@@ -1069,6 +1071,7 @@ func (w *WALStore) Checkpoint() error {
 	if w.batch != nil {
 		return fmt.Errorf("%w: checkpoint requires a quiescent store", ErrBatchOpen)
 	}
+	//mobidxlint:allow lockorder -- by design: a checkpoint must hold the latch across base-sync + truncate so no commit interleaves between the two
 	return w.checkpointLocked()
 }
 
@@ -1131,6 +1134,7 @@ func (w *WALStore) Close() error {
 		}
 	}
 	if w.fail == nil {
+		//mobidxlint:allow lockorder -- by design: the close checkpoint holds the latch across base-sync + truncate; the store is shutting down, nothing else can make progress anyway
 		if err := w.checkpointLocked(); err != nil {
 			errs = append(errs, err)
 		}

@@ -501,6 +501,7 @@ func (r *Router) attempt(ctx context.Context, s *Shard, q dual.MORQuery) ([]dual
 	}
 	ch := make(chan outcome, 2)
 	launch := func(hedged bool) {
+		//mobidxlint:allow gorolifecycle -- bounded: at most 2 launches send into a cap-2 channel, so the send never blocks, and s.Query is cut off by the actx deadline
 		go func() {
 			res, err := s.Query(actx, q)
 			ch <- outcome{res: res, err: err, hedged: hedged}

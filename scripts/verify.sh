@@ -7,6 +7,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Packages that run under the race detector. Every internal package that
+# launches a goroutine anywhere (production or test code) must be listed;
+# TestRaceGateCoverage in internal/analysis parses this assignment and
+# fails if the list falls behind the code.
+RACE_PKGS="./internal/pager/... ./internal/core/... ./internal/twod/... \
+	./internal/kdtree/... ./internal/kinetic/... ./internal/harness/... \
+	./internal/ingest/... ./internal/leakcheck/... ./internal/shard/... \
+	./internal/subscribe/... ./internal/workload/..."
+
 echo "== gofmt -s =="
 unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
@@ -24,17 +33,22 @@ go build ./...
 echo "== mobidxlint =="
 # The project-invariant static-analysis suite (cmd/mobidxlint): buffer
 # release pairing, WAL batch discipline, codec bounds, float equality,
-# dropped errors, library panics. Exits non-zero on any finding.
-go run ./cmd/mobidxlint ./...
+# dropped errors, library panics, lock ordering, atomic/plain mixing,
+# context flow, and goroutine lifecycle. Exits non-zero on any finding.
+# The package listing is cached between runs (keyed on file mtimes), the
+# SARIF artifact is written even when findings fail the gate, and the
+# verbose run prints per-pass wall time.
+mkdir -p .verifycache
+go run ./cmd/mobidxlint -listcache .verifycache/golist.json -sarif ./... \
+	> .verifycache/mobidxlint.sarif || true
+go run ./cmd/mobidxlint -listcache .verifycache/golist.json -v ./...
 
 echo "== go test (shuffled) =="
 go test -shuffle=on ./...
 
 echo "== go test -race (storage + parallel query + sharded serving layers) =="
-go test -race ./internal/pager/... ./internal/core/... ./internal/twod/... \
-	./internal/kdtree/... ./internal/kinetic/... ./internal/harness/... \
-	./internal/ingest/... ./internal/leakcheck/... ./internal/shard/... \
-	./internal/subscribe/... ./internal/workload/...
+# shellcheck disable=SC2086 — word splitting is the point
+go test -race $RACE_PKGS
 
 echo "== subscription storm (leak + race gated) =="
 # The continuous-query engine under a live update storm: concurrent
